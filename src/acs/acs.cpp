@@ -1,0 +1,120 @@
+#include "acs/acs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace delphi::acs {
+
+std::vector<std::uint8_t> encode_value(double v) {
+  ByteWriter w(8);
+  w.f64(v);
+  return w.take();
+}
+
+double decode_value(const std::vector<std::uint8_t>& payload) {
+  DELPHI_REQUIRE(payload.size() == 8, "ACS: value payload must be 8 bytes");
+  ByteReader r(payload);
+  const double v = r.f64();
+  DELPHI_REQUIRE(std::isfinite(v), "ACS: non-finite value");
+  return v;
+}
+
+AcsProtocol::AcsProtocol(Config cfg, double input)
+    : cfg_(cfg), input_(input) {
+  DELPHI_ASSERT(cfg_.n > 3 * cfg_.t, "ACS requires n > 3t");
+  DELPHI_ASSERT(cfg_.coin != nullptr, "ACS requires a common coin");
+  rbcs_.reserve(cfg_.n);
+  abas_.reserve(cfg_.n);
+  for (NodeId j = 0; j < cfg_.n; ++j) {
+    rbcs_.push_back(rbc::RbcInstance(rbc::RbcInstance::Config{
+        cfg_.n, cfg_.t, j, rbc_channel(j), /*max_payload=*/64}));
+    abas_.push_back(aba::AbaInstance(aba::AbaInstance::Config{
+        cfg_.n, cfg_.t,
+        /*instance_id=*/cfg_.session * cfg_.n + j, aba_channel(j), cfg_.coin,
+        cfg_.coin_compute_us, /*max_rounds=*/64}));
+  }
+  aba_input_given_.assign(cfg_.n, false);
+  values_.assign(cfg_.n, std::nullopt);
+}
+
+void AcsProtocol::on_start(net::Context& ctx) {
+  rbcs_[ctx.self()].start(ctx, encode_value(input_));
+}
+
+void AcsProtocol::on_message(net::Context& ctx, NodeId from,
+                             std::uint32_t channel,
+                             const net::MessageBody& body) {
+  if (output_) return;  // finished; late traffic is irrelevant
+  const auto n32 = static_cast<std::uint32_t>(cfg_.n);
+  if (channel < n32) {
+    const NodeId j = channel;
+    const bool was = rbcs_[j].delivered();
+    rbcs_[j].on_message(ctx, from, body);
+    if (!was && rbcs_[j].delivered() && !values_[j]) {
+      // RBC_j delivered => decode and vote 1 for inclusion of slot j.
+      values_[j] = decode_value(rbcs_[j].value());
+      if (!aba_input_given_[j]) {
+        aba_input_given_[j] = true;
+        abas_[j].start(ctx, true);
+      }
+    }
+  } else if (channel < 2 * n32) {
+    const NodeId j = channel - n32;
+    const bool was = abas_[j].decided();
+    abas_[j].on_message(ctx, from, body);
+    if (!was && abas_[j].decided()) {
+      ++decided_count_;
+      if (abas_[j].decision()) ++ones_count_;
+    }
+  } else {
+    throw ProtocolViolation("ACS: channel out of range");
+  }
+  after_delivery(ctx);
+}
+
+void AcsProtocol::after_delivery(net::Context& ctx) {
+  // Once n-t slots decided 1, vote 0 for everything still undecided-by-us.
+  if (!zero_fill_done_ && ones_count_ >= cfg_.n - cfg_.t) {
+    zero_fill_done_ = true;
+    for (NodeId j = 0; j < cfg_.n; ++j) {
+      if (!aba_input_given_[j]) {
+        aba_input_given_[j] = true;
+        const bool was = abas_[j].decided();
+        abas_[j].start(ctx, false);
+        if (!was && abas_[j].decided()) {
+          ++decided_count_;
+          if (abas_[j].decision()) ++ones_count_;
+        }
+      }
+    }
+  }
+  if (decided_count_ == cfg_.n) maybe_finish();
+}
+
+void AcsProtocol::maybe_finish() {
+  if (output_) return;
+  // All n ABAs have decided (checked by the caller via decided_count_), and
+  // the value of every included slot must have been delivered. (ABA_j
+  // deciding 1 implies an honest node input 1, i.e. delivered RBC_j, so by
+  // Totality our own delivery is guaranteed to happen — we just wait.)
+  std::vector<double> included;
+  std::vector<NodeId> subset;
+  for (NodeId j = 0; j < cfg_.n; ++j) {
+    if (abas_[j].decision()) {
+      if (!values_[j]) return;  // still in flight
+      included.push_back(*values_[j]);
+      subset.push_back(j);
+    }
+  }
+  DELPHI_ASSERT(included.size() >= cfg_.n - cfg_.t,
+                "ACS: agreed subset smaller than n - t");
+  std::sort(included.begin(), included.end());
+  // Median: with |S| >= 2t+1 and <= t Byzantine values, the middle element is
+  // bracketed by honest inputs — exact convex validity.
+  output_ = included[included.size() / 2];
+  subset_ = std::move(subset);
+}
+
+}  // namespace delphi::acs

@@ -1,0 +1,125 @@
+#include "adaptive/range_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace delphi::adaptive {
+
+void RangeEstimator::Options::validate() const {
+  if (window == 0) throw ConfigError("RangeEstimator: window must be > 0");
+  if (min_samples < 8) {
+    throw ConfigError("RangeEstimator: min_samples must be >= 8");
+  }
+  if (!(lambda_bits > 0.0)) {
+    throw ConfigError("RangeEstimator: lambda_bits must be positive");
+  }
+  if (!(fallback_delta > 0.0)) {
+    throw ConfigError("RangeEstimator: fallback_delta must be positive");
+  }
+  if (!(safety_factor >= 1.0)) {
+    throw ConfigError("RangeEstimator: safety_factor must be >= 1");
+  }
+  if (refit_interval == 0) {
+    throw ConfigError("RangeEstimator: refit_interval must be > 0");
+  }
+  if (!(max_delta > 0.0)) {
+    throw ConfigError("RangeEstimator: max_delta must be positive");
+  }
+}
+
+RangeEstimator::RangeEstimator(Options opt) : opt_(opt) { opt_.validate(); }
+
+void RangeEstimator::observe(double delta_sample) {
+  if (!(std::isfinite(delta_sample) && delta_sample >= 0.0)) {
+    throw ConfigError("RangeEstimator: range sample must be finite and >= 0");
+  }
+  window_.push_back(delta_sample);
+  if (window_.size() > opt_.window) window_.pop_front();
+  ++total_;
+  ++since_refit_;
+  if (warmed_up() && (since_refit_ >= opt_.refit_interval || !fit_)) {
+    refit();
+  }
+}
+
+void RangeEstimator::refit() {
+  since_refit_ = 0;
+  std::vector<double> xs(window_.begin(), window_.end());
+  // Degenerate windows (constant feed) have no fittable shape; keep the
+  // fallback and let headroom carry the bound.
+  const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+  if (!(*mx > *mn)) {
+    fit_.reset();
+    cached_bound_ = std::max(opt_.fallback_delta, *mx * opt_.safety_factor);
+    return;
+  }
+  auto fits = stats::best_fit(xs, {"Gumbel", "Frechet"});
+  DELPHI_ASSERT(!fits.empty(), "RangeEstimator: no candidate fits");
+  fit_ = fits.front();
+  cached_bound_ = tail_quantile(*fit_->dist, opt_.lambda_bits) *
+                  opt_.safety_factor;
+  // Domain-knowledge ceiling first (tail-index collapse guard), then never
+  // report a bound below the largest range already witnessed: the model
+  // must at least cover the data it was fitted on.
+  cached_bound_ = std::min(cached_bound_, opt_.max_delta);
+  cached_bound_ = std::max(cached_bound_, *mx);
+}
+
+double RangeEstimator::delta_bound() const {
+  if (!warmed_up() || !(cached_bound_ > 0.0)) return opt_.fallback_delta;
+  return cached_bound_;
+}
+
+std::optional<std::string> RangeEstimator::fitted_family() const {
+  if (!fit_) return std::nullopt;
+  return fit_->family;
+}
+
+std::optional<double> RangeEstimator::fitted_ks() const {
+  if (!fit_) return std::nullopt;
+  return fit_->ks;
+}
+
+protocol::DelphiParams RangeEstimator::make_params(double space_min,
+                                                   double space_max,
+                                                   double rho0,
+                                                   double eps) const {
+  protocol::DelphiParams p;
+  p.space_min = space_min;
+  p.space_max = space_max;
+  p.rho0 = rho0;
+  p.eps = eps;
+  // The honest range can never exceed the input space itself, so the space
+  // width caps ∆ no matter how heavy the fitted tail looks.
+  p.delta_max = std::clamp(delta_bound(), rho0, space_max - space_min);
+  p.validate();
+  return p;
+}
+
+double tail_quantile(const stats::Distribution& dist, double lambda_bits) {
+  const double tail = std::exp2(-lambda_bits);
+  const double target = 1.0 - tail;
+  // Exponential search for an upper bracket.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 1200 && dist.cdf(hi) < target; ++i) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  DELPHI_ASSERT(dist.cdf(hi) >= target,
+                "tail_quantile: tail heavier than the search range");
+  for (int i = 0; i < 200; ++i) {
+    const double mid = lo + (hi - lo) / 2.0;
+    if (dist.cdf(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace delphi::adaptive

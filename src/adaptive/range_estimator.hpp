@@ -1,0 +1,105 @@
+#pragma once
+/// \file range_estimator.hpp
+/// Online estimation of Delphi's max-range parameter ∆ from observed honest
+/// ranges — the operational loop behind the paper's §VI-A/§VI-B methodology.
+///
+/// The paper configures ∆ *offline*: collect two weeks of per-minute range
+/// samples δ = max(V_h) - min(V_h), fit candidate extreme-value families
+/// (Fréchet won for the BTC feed, Gumbel/Gamma for the drone errors), and
+/// invert the fitted tail at probability 2^-λ. This module packages that
+/// exact pipeline as a rolling-window estimator so a deployment can re-derive
+/// ∆ as market/sensor conditions drift, instead of freezing a constant
+/// forever. Each call to `delta_bound()`:
+///   1. fits Gumbel and Fréchet to the current window (stats/fit.hpp — the
+///      two families EVT designates for sample ranges);
+///   2. keeps the better Kolmogorov–Smirnov fit (the paper's model choice);
+///   3. inverts its tail at 1 - 2^-λ by bisection on the CDF;
+///   4. applies a configurable engineering headroom factor.
+///
+/// ∆ feeds DelphiParams; a *larger* ∆ only costs rounds/levels (performance),
+/// while a too-small ∆ risks the δ ≤ ∆ assumption — hence the asymmetric
+/// safety factor and the conservative warm-up fallback.
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "delphi/params.hpp"
+#include "stats/fit.hpp"
+
+namespace delphi::adaptive {
+
+/// Rolling-window ∆ estimator. Not thread-safe; one per agreement pipeline.
+class RangeEstimator {
+ public:
+  struct Options {
+    /// Rolling window size; the paper's horizon is two weeks of per-minute
+    /// samples (20160). Older samples are evicted FIFO.
+    std::size_t window = 20160;
+    /// Observations required before the fitted bound is trusted.
+    std::size_t min_samples = 64;
+    /// Statistical security: P(δ > ∆) <= 2^-λ under the fitted model.
+    double lambda_bits = 30.0;
+    /// ∆ reported before warm-up (domain-knowledge bound, paper §IV-D).
+    double fallback_delta = 1.0;
+    /// Multiplicative headroom on the inverted tail (>= 1).
+    double safety_factor = 1.25;
+    /// Domain-knowledge ceiling on ∆ (paper §IV-D: "∆ can be set based on
+    /// domain knowledge — e.g. the maximum possible price observed so far").
+    /// Guards against tail-index collapse when the window straddles regime
+    /// changes; infinity disables the cap.
+    double max_delta = std::numeric_limits<double>::infinity();
+    /// Refit every `refit_interval` observations (fits are O(window log
+    /// window); recomputing per observation would be wasteful).
+    std::size_t refit_interval = 256;
+
+    void validate() const;
+  };
+
+  explicit RangeEstimator(Options opt);
+
+  /// Record one realized range sample δ >= 0 (one per agreement instance).
+  void observe(double delta_sample);
+
+  /// Number of samples currently in the window.
+  std::size_t count() const noexcept { return window_.size(); }
+
+  /// True once min_samples observations have been made.
+  bool warmed_up() const noexcept { return total_ >= opt_.min_samples; }
+
+  /// Current ∆: fallback before warm-up, fitted tail bound after.
+  double delta_bound() const;
+
+  /// Best-fit family of the last refit ("Gumbel"/"Frechet"), if warmed up.
+  std::optional<std::string> fitted_family() const;
+
+  /// KS distance of the winning fit, if warmed up.
+  std::optional<double> fitted_ks() const;
+
+  /// Assemble DelphiParams around the current ∆ estimate. rho0/eps follow the
+  /// caller (the paper sets rho0 = eps for minimum relaxation); ∆ is clamped
+  /// to at least rho0 so the level ladder is well-formed.
+  protocol::DelphiParams make_params(double space_min, double space_max,
+                                     double rho0, double eps) const;
+
+  const Options& options() const noexcept { return opt_; }
+
+ private:
+  void refit();
+
+  Options opt_;
+  std::deque<double> window_;
+  std::size_t total_ = 0;
+  std::size_t since_refit_ = 0;
+  /// Cached result of the last refit (nullopt before first refit).
+  std::optional<stats::FitResult> fit_;
+  double cached_bound_ = 0.0;
+};
+
+/// Invert `dist`'s upper tail: smallest x with 1 - cdf(x) <= 2^-lambda_bits,
+/// found by exponential search + bisection. Exposed for tests and for
+/// offline configuration tooling.
+double tail_quantile(const stats::Distribution& dist, double lambda_bits);
+
+}  // namespace delphi::adaptive

@@ -1,0 +1,87 @@
+#pragma once
+/// \file delta_codec.hpp
+/// The paper's VAL move-code technique (§II-C), implemented for real: a
+/// node's round-r BinAA state differs from its round-(r-1) state by
+/// {-2,-1,0,+1,+2} granularity steps (2L, L, C, R, 2R). Over a FIFO link a
+/// receiver can therefore reconstruct every sender's state trajectory from
+/// 3-bit codes instead of full values.
+///
+/// DeltaEncoder/DeltaDecoder are exercised by property tests which replay
+/// whole BinAA executions through them and check losslessness; the compact
+/// EchoMessage wire size (message.hpp) is justified by that proof.
+
+#include <cstdint>
+#include <optional>
+
+#include "binaa/core.hpp"
+
+namespace delphi::binaa {
+
+/// Move codes for a state transition between consecutive rounds.
+enum class MoveCode : std::uint8_t {
+  k2L = 0,  ///< moved left by two granularity(r+1) steps (= one g(r) step)
+  kL = 1,   ///< moved left by one step
+  kC = 2,   ///< stayed
+  kR = 3,   ///< moved right by one step
+  k2R = 4,  ///< moved right by two steps
+};
+
+/// Encodes one sender's ECHO1 state stream.
+class DeltaEncoder {
+ public:
+  explicit DeltaEncoder(std::uint32_t r_max) : r_max_(r_max) {}
+
+  /// Encode the round-1 value (binary): returns 0 or 1.
+  std::uint8_t encode_initial(ScaledValue v, ScaledValue scale) {
+    prev_ = v;
+    return v == scale ? 1 : 0;
+  }
+
+  /// Encode a round-r (r >= 2) state value as a move code relative to the
+  /// previous round's value. Returns nullopt if the transition is not a legal
+  /// BinAA move (caller falls back to the plain codec).
+  std::optional<MoveCode> encode(std::uint32_t round, ScaledValue v,
+                                 ScaledValue scale) {
+    if (round < 2 || round > r_max_) return std::nullopt;
+    // Step unit: the new round's granularity.
+    const ScaledValue unit = scale >> (round - 1);
+    const ScaledValue delta = v - prev_;
+    if (unit == 0 || delta % unit != 0) return std::nullopt;
+    const ScaledValue steps = delta / unit;
+    if (steps < -2 || steps > 2) return std::nullopt;
+    prev_ = v;
+    return static_cast<MoveCode>(steps + 2);
+  }
+
+ private:
+  std::uint32_t r_max_;
+  ScaledValue prev_ = 0;
+};
+
+/// Decodes one sender's ECHO1 state stream (mirror of DeltaEncoder).
+class DeltaDecoder {
+ public:
+  explicit DeltaDecoder(std::uint32_t r_max) : r_max_(r_max) {}
+
+  /// Decode the round-1 bit.
+  ScaledValue decode_initial(std::uint8_t bit, ScaledValue scale) {
+    prev_ = bit ? scale : 0;
+    return prev_;
+  }
+
+  /// Decode a round-r move code into the absolute state value.
+  ScaledValue decode(std::uint32_t round, MoveCode code, ScaledValue scale) {
+    DELPHI_REQUIRE(round >= 2 && round <= r_max_, "delta: round out of range");
+    const ScaledValue unit = scale >> (round - 1);
+    const auto steps =
+        static_cast<ScaledValue>(static_cast<std::uint8_t>(code)) - 2;
+    prev_ += steps * unit;
+    return prev_;
+  }
+
+ private:
+  std::uint32_t r_max_;
+  ScaledValue prev_ = 0;
+};
+
+}  // namespace delphi::binaa

@@ -1,0 +1,65 @@
+#pragma once
+/// \file protocol.hpp
+/// Standalone BinAA node: wraps BinAaCore as a net::Protocol sending one
+/// EchoMessage per echo action. Delphi does *not* use this wrapper (it
+/// bundles echoes across checkpoints); this exists for direct BinAA use,
+/// unit/property tests, and the codec ablation bench.
+
+#include "binaa/core.hpp"
+#include "binaa/message.hpp"
+#include "net/protocol.hpp"
+
+namespace delphi::binaa {
+
+/// One node running a single BinAA instance.
+class BinAaProtocol final : public net::Protocol, public net::ValueOutput {
+ public:
+  struct Config {
+    BinAaCore::Config core;
+    std::uint32_t channel = 0;
+    /// Account echo frames with the compact VAL codec (requires FIFO links).
+    bool compact = false;
+  };
+
+  BinAaProtocol(Config cfg, bool input)
+      : cfg_(cfg), core_(cfg.core), input_(input) {}
+
+  void on_start(net::Context& ctx) override {
+    std::vector<EchoAction> acts;
+    core_.start(input_, acts);
+    flush(ctx, acts);
+  }
+
+  void on_message(net::Context& ctx, NodeId from, std::uint32_t channel,
+                  const net::MessageBody& body) override {
+    DELPHI_REQUIRE(channel == cfg_.channel, "BinAA: unexpected channel");
+    const auto* msg = dynamic_cast<const EchoMessage*>(&body);
+    DELPHI_REQUIRE(msg != nullptr, "BinAA: foreign message type");
+    std::vector<EchoAction> acts;
+    core_.on_echo(msg->kind(), msg->round(), msg->value(), from, acts);
+    flush(ctx, acts);
+  }
+
+  bool terminated() const override { return core_.done(); }
+
+  std::optional<double> output_value() const override {
+    if (!core_.done()) return std::nullopt;
+    return core_.output();
+  }
+
+  const BinAaCore& core() const noexcept { return core_; }
+
+ private:
+  void flush(net::Context& ctx, const std::vector<EchoAction>& acts) {
+    for (const auto& a : acts) {
+      ctx.broadcast(cfg_.channel, std::make_shared<EchoMessage>(
+                                      a.kind, a.round, a.value, cfg_.compact));
+    }
+  }
+
+  Config cfg_;
+  BinAaCore core_;
+  bool input_;
+};
+
+}  // namespace delphi::binaa

@@ -1,0 +1,70 @@
+#pragma once
+/// \file bitset.hpp
+/// Dynamic fixed-capacity bitset over node ids with a cached popcount.
+///
+/// Quorum tracking ("which senders echoed value v?") is the hottest state in
+/// every protocol here; with hundreds of BinAA instances per node a
+/// std::set<NodeId> per (instance, round, value) would cost gigabytes at
+/// n = 160. This bitset costs ceil(n/64) words and O(1) membership/insert.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace delphi {
+
+/// Set of node ids in [0, n).
+class NodeBitset {
+ public:
+  NodeBitset() = default;
+
+  explicit NodeBitset(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  /// Insert; returns true iff the id was newly added.
+  bool insert(NodeId id) {
+    DELPHI_ASSERT(id < n_, "NodeBitset: id out of range");
+    const std::uint64_t mask = std::uint64_t{1} << (id % 64);
+    std::uint64_t& w = words_[id / 64];
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
+
+  /// Membership test.
+  bool contains(NodeId id) const {
+    DELPHI_ASSERT(id < n_, "NodeBitset: id out of range");
+    return (words_[id / 64] >> (id % 64)) & 1;
+  }
+
+  /// Number of members (O(1), cached).
+  std::size_t count() const noexcept { return count_; }
+
+  /// Capacity n the set was created for.
+  std::size_t capacity() const noexcept { return n_; }
+
+  /// True when no ids are present.
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Invoke fn(NodeId) for every member in increasing id order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace delphi

@@ -1,0 +1,100 @@
+#include "common/bytes.hpp"
+
+#include <bit>
+
+namespace delphi {
+
+void ByteWriter::uvarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::svarint(std::int64_t v) {
+  // Zigzag: maps small magnitudes (either sign) to small codes.
+  const auto u = (static_cast<std::uint64_t>(v) << 1) ^
+                 static_cast<std::uint64_t>(v >> 63);
+  uvarint(u);
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  uvarint(data.size());
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  uvarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::uint8_t ByteReader::u8() { return get_le<std::uint8_t>(); }
+std::uint16_t ByteReader::u16() { return get_le<std::uint16_t>(); }
+std::uint32_t ByteReader::u32() { return get_le<std::uint32_t>(); }
+std::uint64_t ByteReader::u64() { return get_le<std::uint64_t>(); }
+
+std::uint64_t ByteReader::uvarint() {
+  std::uint64_t v = 0;
+  for (std::size_t shift = 0; shift < 70; shift += 7) {
+    need(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift == 63 && (b & 0x7Eu) != 0) {
+      throw SerializationError("uvarint overflow");
+    }
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return v;
+  }
+  throw SerializationError("uvarint too long");
+}
+
+std::int64_t ByteReader::svarint() {
+  const std::uint64_t u = uvarint();
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::vector<std::uint8_t> ByteReader::bytes() {
+  const std::uint64_t n = uvarint();
+  if (n > remaining()) throw SerializationError("byte string length overflow");
+  auto view = raw(static_cast<std::size_t>(n));
+  return {view.begin(), view.end()};
+}
+
+std::string ByteReader::str() {
+  const std::uint64_t n = uvarint();
+  if (n > remaining()) throw SerializationError("string length overflow");
+  auto view = raw(static_cast<std::size_t>(n));
+  return {reinterpret_cast<const char*>(view.data()), view.size()};
+}
+
+std::span<const std::uint8_t> ByteReader::raw(std::size_t n) {
+  need(n);
+  auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+std::size_t uvarint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t svarint_size(std::int64_t v) noexcept {
+  const auto u = (static_cast<std::uint64_t>(v) << 1) ^
+                 static_cast<std::uint64_t>(v >> 63);
+  return uvarint_size(u);
+}
+
+}  // namespace delphi

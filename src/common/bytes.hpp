@@ -1,0 +1,143 @@
+#pragma once
+/// \file bytes.hpp
+/// Bounds-checked binary serialization: ByteWriter / ByteReader.
+///
+/// All wire formats in the project are built from these primitives so that
+/// message sizes are exact and decoding of adversarial bytes is safe.
+/// Integers use little-endian fixed width or LEB128 varints; signed varints
+/// use zigzag coding. Doubles are bit-cast to u64 (IEEE-754, little-endian).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace delphi {
+
+/// Append-only binary encoder producing a byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  /// Reserve capacity up front when the caller knows the rough size.
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  /// Fixed-width little-endian writes.
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+
+  /// LEB128 unsigned varint (1..10 bytes).
+  void uvarint(std::uint64_t v);
+
+  /// Zigzag-coded signed varint.
+  void svarint(std::int64_t v);
+
+  /// IEEE-754 double, bit-cast to u64.
+  void f64(double v);
+
+  /// Length-prefixed (uvarint) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+
+  /// Length-prefixed UTF-8 string.
+  void str(std::string_view s);
+
+  /// Raw bytes without a length prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> data);
+
+  /// Number of bytes written so far.
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  /// Access the encoded bytes.
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+
+  /// Move the encoded bytes out (writer becomes empty).
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked binary decoder over a borrowed byte span. Every read throws
+/// SerializationError on truncation or malformed varints, so decoding
+/// adversarial input is safe by construction.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// LEB128 unsigned varint; rejects encodings longer than 10 bytes.
+  std::uint64_t uvarint();
+
+  /// Zigzag-decoded signed varint.
+  std::int64_t svarint();
+
+  /// IEEE-754 double.
+  double f64();
+
+  /// Length-prefixed byte string; the length is validated against the
+  /// remaining input before any allocation (no memory-exhaustion attacks).
+  std::vector<std::uint8_t> bytes();
+
+  /// Length-prefixed UTF-8 string.
+  std::string str();
+
+  /// Read exactly n raw bytes.
+  std::span<const std::uint8_t> raw(std::size_t n);
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  /// True when the whole input has been consumed. Message decoders check this
+  /// to reject trailing garbage.
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+  /// Throw unless the input was fully consumed.
+  void expect_exhausted() const {
+    if (!exhausted()) throw SerializationError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw SerializationError("truncated input");
+  }
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Size in bytes of uvarint(v) — used for exact wire-size accounting without
+/// materializing the encoding.
+std::size_t uvarint_size(std::uint64_t v) noexcept;
+
+/// Size in bytes of svarint(v).
+std::size_t svarint_size(std::int64_t v) noexcept;
+
+}  // namespace delphi

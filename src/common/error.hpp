@@ -1,0 +1,72 @@
+#pragma once
+/// \file error.hpp
+/// Exception hierarchy and invariant-checking helpers.
+///
+/// Protocol code validates every externally supplied datum (messages may come
+/// from Byzantine senders); violations raise typed exceptions which the
+/// simulation harness converts into "malformed message dropped" events rather
+/// than crashing honest nodes.
+
+#include <stdexcept>
+#include <string>
+
+namespace delphi {
+
+/// Root of the project exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A byte stream could not be decoded (truncated, out-of-range varint, ...).
+/// Raised while parsing messages; honest nodes treat the message as garbage
+/// from a faulty sender and drop it.
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A message decoded correctly but violates the protocol's schema (e.g. a
+/// round number beyond the configured maximum, a value outside [0, 1]).
+class ProtocolViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Configuration is internally inconsistent (e.g. epsilon <= 0).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant of *our own* code failed. Never expected to fire;
+/// indicates a bug rather than adversarial input.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  throw InternalError(std::string("assertion failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+/// Internal invariant check. Always on (protocol correctness depends on it and
+/// the cost is negligible next to message handling).
+#define DELPHI_ASSERT(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) ::delphi::detail::assert_fail(#expr, __FILE__, __LINE__, \
+                                               (msg));                 \
+  } while (false)
+
+/// Validate adversary-controllable input; throws ProtocolViolation.
+#define DELPHI_REQUIRE(expr, msg)                      \
+  do {                                                 \
+    if (!(expr)) throw ::delphi::ProtocolViolation(msg); \
+  } while (false)
+
+}  // namespace delphi

@@ -1,0 +1,23 @@
+#include "common/log.hpp"
+
+namespace delphi {
+
+namespace {
+constexpr const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, std::string_view msg) {
+  std::cerr << "[" << level_name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace delphi

@@ -1,0 +1,54 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Off by default so simulations stay fast; tests and
+/// examples can raise the level for debugging.
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace delphi {
+
+/// Severity levels, lowest to highest.
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration (process-wide; simulations are single-threaded,
+/// the TCP transport guards stream writes itself).
+class Log {
+ public:
+  /// Current threshold; messages below it are discarded.
+  static LogLevel level() noexcept { return level_; }
+
+  /// Set the threshold (e.g. LogLevel::kDebug in a failing test).
+  static void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+
+  /// True if a message at `lvl` would be emitted.
+  static bool enabled(LogLevel lvl) noexcept { return lvl >= level_; }
+
+  /// Emit one line to stderr.
+  static void write(LogLevel lvl, std::string_view msg);
+
+ private:
+  static inline LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace detail {
+struct LogLine {
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+/// Usage: DLOG(kDebug) << "rbc deliver from " << j;
+#define DLOG(lvl)                                   \
+  if (::delphi::Log::enabled(::delphi::LogLevel::lvl)) \
+  ::delphi::detail::LogLine(::delphi::LogLevel::lvl)
+
+}  // namespace delphi

@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+namespace delphi {
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+  // xoshiro's all-zero state is a fixed point; SplitMix64 cannot emit four
+  // zeros in a row, so no further guard is needed.
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Hash the current state together with the stream id through SplitMix64 to
+  // obtain an independent seed. The parent generator is not advanced.
+  SplitMix64 sm(s_[0] ^ (s_[1] * 0x9E3779B97F4A7C15ULL) ^
+                (stream_id * 0xD1B54A32D192ED03ULL));
+  std::uint64_t mixed = sm.next() ^ sm.next();
+  return Rng(mixed ^ s_[2] ^ (s_[3] + stream_id));
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method: unbiased and branch-light.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_pos() noexcept {
+  return (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+}  // namespace delphi

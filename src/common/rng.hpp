@@ -1,0 +1,77 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// The project never uses `std::normal_distribution` et al. because their
+/// output is implementation-defined: the same seed would produce different
+/// simulations on different standard libraries, breaking reproducibility of
+/// every experiment. Instead we ship xoshiro256** plus hand-rolled samplers
+/// (see stats/) whose output is bit-identical everywhere.
+
+#include <array>
+#include <cstdint>
+
+namespace delphi {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state and
+/// to derive independent child seeds (seed + stream id).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit output.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, tiny state.
+/// Deterministic across platforms; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion (recommended by the xoshiro authors).
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derive an independent generator for a named sub-stream. Streams derived
+  /// from distinct ids are statistically independent; this is how the
+  /// simulator gives every node/channel its own RNG without correlation.
+  Rng fork(std::uint64_t stream_id) const noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64 bits.
+  std::uint64_t operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double uniform_pos() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Fair coin.
+  bool coin() noexcept { return (next() >> 63) != 0; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace delphi

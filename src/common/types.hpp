@@ -1,0 +1,37 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental identifier and time types shared by every module.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace delphi {
+
+/// Identity of a node/process in the system. Nodes are numbered 0..n-1.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time in microseconds. Signed so that durations and differences
+/// compose without surprises (C++ Core Guidelines ES.102: use signed for
+/// arithmetic).
+using SimTime = std::int64_t;
+
+/// One millisecond expressed in SimTime units.
+inline constexpr SimTime kMillisecond = 1000;
+/// One second expressed in SimTime units.
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Byzantine fault bound helper: the largest t with n >= 3t + 1.
+constexpr std::size_t max_faults(std::size_t n) noexcept {
+  return (n - 1) / 3;
+}
+
+/// Quorum size n - t for a system of n nodes tolerating t faults.
+constexpr std::size_t quorum_size(std::size_t n, std::size_t t) noexcept {
+  return n - t;
+}
+
+}  // namespace delphi

@@ -1,0 +1,59 @@
+#include "crypto/certificate.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/bytes.hpp"
+
+namespace delphi::crypto {
+
+Digest Attestor::tag_for(NodeId signer, std::int64_t value_index) const {
+  ByteWriter msg;
+  msg.u64(session_);
+  msg.u32(signer);
+  msg.svarint(value_index);
+  return hmac_sha256(keys_->node_key(signer),
+                     std::span<const std::uint8_t>(msg.data()));
+}
+
+AttestationShare Attestor::sign(NodeId signer, std::int64_t value_index) const {
+  return AttestationShare{signer, value_index, tag_for(signer, value_index)};
+}
+
+bool Attestor::verify(const AttestationShare& share) const {
+  if (share.signer >= keys_->size()) return false;
+  return digest_equal(share.tag, tag_for(share.signer, share.value_index));
+}
+
+std::optional<Certificate> Attestor::try_assemble(
+    const std::vector<AttestationShare>& shares, std::size_t threshold) const {
+  // Group valid shares by value, de-duplicating signers.
+  std::map<std::int64_t, std::map<NodeId, AttestationShare>> by_value;
+  for (const auto& s : shares) {
+    if (verify(s)) by_value[s.value_index].emplace(s.signer, s);
+  }
+  for (const auto& [value, signers] : by_value) {
+    if (signers.size() >= threshold) {
+      Certificate cert;
+      cert.value_index = value;
+      for (const auto& [id, share] : signers) {
+        cert.shares.push_back(share);
+        if (cert.shares.size() == threshold) break;  // succinct certificate
+      }
+      return cert;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Attestor::verify(const Certificate& cert, std::size_t threshold) const {
+  std::set<NodeId> signers;
+  for (const auto& s : cert.shares) {
+    if (s.value_index != cert.value_index) return false;
+    if (!verify(s)) return false;
+    signers.insert(s.signer);
+  }
+  return signers.size() >= threshold;
+}
+
+}  // namespace delphi::crypto

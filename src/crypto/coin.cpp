@@ -1,0 +1,32 @@
+#include "crypto/coin.hpp"
+
+#include "common/bytes.hpp"
+
+namespace delphi::crypto {
+
+std::uint64_t CommonCoin::prf(std::uint64_t instance,
+                              std::uint32_t round) const noexcept {
+  ByteWriter key;
+  key.u64(seed_);
+  ByteWriter msg;
+  msg.u64(instance);
+  msg.u32(round);
+  const Digest d = hmac_sha256(std::span<const std::uint8_t>(key.data()),
+                               std::span<const std::uint8_t>(msg.data()));
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v;
+}
+
+bool CommonCoin::toss(std::uint64_t instance,
+                      std::uint32_t round) const noexcept {
+  return (prf(instance, round) & 1) != 0;
+}
+
+std::uint64_t CommonCoin::value(std::uint64_t instance, std::uint32_t round,
+                                std::uint64_t bound) const noexcept {
+  if (bound == 0) return 0;
+  return prf(instance, round) % bound;
+}
+
+}  // namespace delphi::crypto

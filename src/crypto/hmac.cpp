@@ -1,0 +1,92 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace delphi::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> data) noexcept {
+  std::array<std::uint8_t, 64> k_block{};
+  if (key.size() > 64) {
+    const Digest kd = sha256(key);
+    std::copy(kd.begin(), kd.end(), k_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k_block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Digest hmac_sha256(const Key& key, std::span<const std::uint8_t> data) noexcept {
+  return hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                     data);
+}
+
+bool digest_equal(const Digest& a, const Digest& b) noexcept {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+KeyStore::KeyStore(std::uint64_t master, std::size_t n) : n_(n) {
+  DELPHI_ASSERT(n >= 1, "KeyStore needs at least one node");
+  pair_keys_.resize(n * (n + 1) / 2);
+  node_keys_.resize(n);
+
+  const auto derive = [master](std::string_view label, std::uint64_t a,
+                               std::uint64_t b) {
+    ByteWriter w;
+    w.u64(master);
+    w.str(label);
+    w.u64(a);
+    w.u64(b);
+    const Digest d = sha256(std::span<const std::uint8_t>(w.data()));
+    Key k;
+    std::copy(d.begin(), d.end(), k.begin());
+    return k;
+  };
+
+  for (NodeId i = 0; i < n; ++i) {
+    node_keys_[i] = derive("node", i, 0);
+    for (NodeId j = i; j < n; ++j) {
+      pair_keys_[pair_index(i, j)] = derive("pair", i, j);
+    }
+  }
+}
+
+std::size_t KeyStore::pair_index(NodeId i, NodeId j) const {
+  if (i > j) std::swap(i, j);
+  DELPHI_ASSERT(j < n_, "node id out of range");
+  // Triangular index for i <= j.
+  return static_cast<std::size_t>(i) * n_ -
+         static_cast<std::size_t>(i) * (i + 1) / 2 + j;
+}
+
+const Key& KeyStore::channel_key(NodeId i, NodeId j) const {
+  return pair_keys_[pair_index(i, j)];
+}
+
+const Key& KeyStore::node_key(NodeId i) const {
+  DELPHI_ASSERT(i < n_, "node id out of range");
+  return node_keys_[i];
+}
+
+}  // namespace delphi::crypto

@@ -1,0 +1,59 @@
+#pragma once
+/// \file sha256.hpp
+/// From-scratch SHA-256 (FIPS 180-4). No external crypto dependency is
+/// available offline, and the paper's implementation uses SHA-256-based HMACs
+/// for its authenticated channels, so we carry our own.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace delphi::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update(bytes);
+///   Digest d = h.finalize();
+/// `finalize` may be called once; the object is then exhausted.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorb more input.
+  void update(std::span<const std::uint8_t> data) noexcept;
+
+  /// Convenience overload for string literals / std::string.
+  void update(std::string_view s) noexcept {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Pad, finish, and return the digest.
+  Digest finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> h_;
+  std::array<std::uint8_t, 64> buf_;
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot hash of a byte span.
+Digest sha256(std::span<const std::uint8_t> data) noexcept;
+
+/// One-shot hash of a string.
+Digest sha256(std::string_view s) noexcept;
+
+/// Hex encoding of a digest (for tests and logs).
+std::string to_hex(const Digest& d);
+
+}  // namespace delphi::crypto

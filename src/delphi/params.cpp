@@ -1,0 +1,101 @@
+#include "delphi/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace delphi::protocol {
+
+void DelphiParams::validate() const {
+  if (!(space_max > space_min)) throw ConfigError("Delphi: need e > s");
+  if (!(rho0 > 0.0)) throw ConfigError("Delphi: rho0 must be > 0");
+  if (!(eps > 0.0)) throw ConfigError("Delphi: eps must be > 0");
+  if (!(delta_max >= rho0)) {
+    throw ConfigError("Delphi: Delta must be >= rho0");
+  }
+  if (!(delta_max <= space_max - space_min)) {
+    throw ConfigError("Delphi: Delta exceeds the input space");
+  }
+  // The top level must still have at least one checkpoint inside [s, e].
+  if (k_min(max_level()) > k_max(max_level())) {
+    throw ConfigError("Delphi: top level has no checkpoint inside [s, e]");
+  }
+}
+
+std::uint32_t DelphiParams::max_level() const {
+  const double ratio = delta_max / rho0;
+  const double l = std::ceil(std::log2(std::max(ratio, 1.0)));
+  return static_cast<std::uint32_t>(std::max(l, 0.0));
+}
+
+double DelphiParams::rho(std::uint32_t level) const {
+  return std::ldexp(rho0, static_cast<int>(level));
+}
+
+double DelphiParams::eps_prime(std::size_t n) const {
+  const double lm = std::max<double>(max_level(), 1.0);
+  return eps / (4.0 * delta_max * lm * static_cast<double>(n));
+}
+
+std::uint32_t DelphiParams::r_max(std::size_t n) const {
+  const double ep = eps_prime(n);
+  const auto r = static_cast<std::int64_t>(std::ceil(std::log2(1.0 / ep)));
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(r, 1, 40));
+}
+
+std::int64_t DelphiParams::k_min(std::uint32_t level) const {
+  return static_cast<std::int64_t>(std::ceil(space_min / rho(level)));
+}
+
+std::int64_t DelphiParams::k_max(std::uint32_t level) const {
+  return static_cast<std::int64_t>(std::floor(space_max / rho(level)));
+}
+
+std::pair<std::int64_t, std::int64_t> DelphiParams::closest_checkpoints(
+    std::uint32_t level, double v) const {
+  const double r = rho(level);
+  auto lo = static_cast<std::int64_t>(std::floor(v / r));
+  auto hi = lo + 1;
+  lo = std::clamp(lo, k_min(level), k_max(level));
+  hi = std::clamp(hi, k_min(level), k_max(level));
+  return {lo, hi};
+}
+
+DelphiParams DelphiParams::oracle_network() {
+  DelphiParams p;
+  p.space_min = 0.0;
+  p.space_max = 200'000.0;  // "maximum possible price observed so far"
+  p.rho0 = 2.0;
+  p.eps = 2.0;
+  p.delta_max = 2000.0;
+  p.validate();
+  return p;
+}
+
+DelphiParams DelphiParams::drone_cps() {
+  DelphiParams p;
+  p.space_min = -1000.0;
+  p.space_max = 1000.0;
+  p.rho0 = 0.5;
+  p.eps = 0.5;
+  p.delta_max = 50.0;
+  p.validate();
+  return p;
+}
+
+DelphiParams DelphiParams::from_distribution(const stats::Distribution& dist,
+                                             std::size_t n, double lambda_bits,
+                                             double eps, double space_min,
+                                             double space_max) {
+  DelphiParams p;
+  p.space_min = space_min;
+  p.space_max = space_max;
+  p.eps = eps;
+  p.rho0 = eps;  // the paper's static choice for minimum validity relaxation
+  const double bound = stats::range_bound(dist, n, lambda_bits);
+  p.delta_max =
+      std::clamp(std::max(bound, p.rho0), p.rho0, space_max - space_min);
+  p.validate();
+  return p;
+}
+
+}  // namespace delphi::protocol

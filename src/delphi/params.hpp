@@ -1,0 +1,83 @@
+#pragma once
+/// \file params.hpp
+/// Delphi configuration (Algorithm 2's inputs) and derived quantities.
+///
+/// The protocol is parameterized by the input space [s, e], the level-0
+/// separator rho0, the maximum honest range Delta (from the thin-tail
+/// analysis, §IV-D — see stats/evt.hpp), and the agreement distance eps.
+/// Derived: l_M = ceil(log2(Delta/rho0)) (levels 0..l_M),
+/// eps' = eps / (4 * Delta * l_M * n), r_M = ceil(log2(1/eps')).
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "stats/distributions.hpp"
+#include "stats/evt.hpp"
+
+namespace delphi::protocol {
+
+/// Static protocol parameters, identical at every honest node.
+struct DelphiParams {
+  /// Input space bounds [s, e]; all honest inputs must lie inside.
+  double space_min = 0.0;
+  double space_max = 1.0;
+  /// Separator at level 0 (the paper statically sets rho0 = eps for minimum
+  /// validity relaxation; Fig 6a uses rho0 > eps to cut rounds).
+  double rho0 = 1.0;
+  /// Upper bound Delta on the honest range delta; from EVT analysis.
+  double delta_max = 1.0;
+  /// Agreement distance eps.
+  double eps = 1.0;
+
+  /// Validate internal consistency; throws ConfigError.
+  void validate() const;
+
+  /// Highest level index l_M = ceil(log2(Delta / rho0)) (>= 0).
+  std::uint32_t max_level() const;
+
+  /// Number of levels = l_M + 1.
+  std::uint32_t num_levels() const { return max_level() + 1; }
+
+  /// Separator at level l: rho_l = 2^l * rho0.
+  double rho(std::uint32_t level) const;
+
+  /// eps' = eps / (4 * Delta * l_M * n)  (with l_M >= 1 in the formula to
+  /// avoid the degenerate single-level zero).
+  double eps_prime(std::size_t n) const;
+
+  /// BinAA round count r_M = ceil(log2(1 / eps')), clamped to [1, 40].
+  std::uint32_t r_max(std::size_t n) const;
+
+  /// Checkpoint index bounds at a level: k in [k_min, k_max] with
+  /// mu_k = k * rho_l inside [s, e].
+  std::int64_t k_min(std::uint32_t level) const;
+  std::int64_t k_max(std::uint32_t level) const;
+
+  /// Checkpoint value mu_k = k * rho_l.
+  double checkpoint(std::uint32_t level, std::int64_t k) const {
+    return static_cast<double>(k) * rho(level);
+  }
+
+  /// The two checkpoints closest to input v at `level` (clamped into range;
+  /// may coincide at the space edge). Honest nodes input 1 exactly to these
+  /// (Algorithm 2, line 10-11).
+  std::pair<std::int64_t, std::int64_t> closest_checkpoints(
+      std::uint32_t level, double v) const;
+
+  /// Convenience constructor for the paper's oracle-network configuration
+  /// (§VI-A): rho0 = eps = 2$, Delta = 2000$, space [0, 200000$].
+  static DelphiParams oracle_network();
+
+  /// The paper's CPS/drone configuration (§VI-B): rho0 = eps = 0.5 m,
+  /// Delta = 50 m, space [-1000 m, 1000 m] around the surveilled area.
+  static DelphiParams drone_cps();
+
+  /// Derive parameters from a thin/fat-tailed input distribution via the EVT
+  /// range bound: Delta = range_bound(dist, n, lambda_bits) (paper §IV-D).
+  static DelphiParams from_distribution(const stats::Distribution& dist,
+                                        std::size_t n, double lambda_bits,
+                                        double eps, double space_min,
+                                        double space_max);
+};
+
+}  // namespace delphi::protocol

@@ -1,0 +1,48 @@
+#include "drone/detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace delphi::drone {
+
+double Vec2::norm() const { return std::hypot(x, y); }
+
+DetectionModel::DetectionModel(DetectionConfig cfg)
+    : cfg_(cfg),
+      iou_loss_(cfg.iou_loss_shape, cfg.iou_loss_scale),
+      gps_err_(cfg.gps_shape, cfg.gps_scale) {}
+
+double DetectionModel::sample_iou(Rng& rng) const {
+  const double loss = iou_loss_.sample(rng);
+  return std::clamp(1.0 - loss, 0.0, 1.0);
+}
+
+Vec2 DetectionModel::sample_gps_error(Rng& rng) const {
+  const double mag = gps_err_.sample(rng);
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  return {mag * std::cos(theta), mag * std::sin(theta)};
+}
+
+Vec2 DetectionModel::observe(Vec2 ground_truth, Rng& rng) const {
+  // Bounding-box error: independent per-coordinate signed errors bounded by
+  // the car-diagonal heuristic d = 5.3 * (1 - IoU).
+  const double iou = sample_iou(rng);
+  const double d = cfg_.meters_per_iou_loss * (1.0 - iou);
+  const Vec2 bb_err{(rng.coin() ? 1.0 : -1.0) * d * rng.uniform(),
+                    (rng.coin() ? 1.0 : -1.0) * d * rng.uniform()};
+  return ground_truth + bb_err + sample_gps_error(rng);
+}
+
+std::vector<Vec2> fleet_observations(const DetectionModel& model,
+                                     Vec2 ground_truth, std::size_t n,
+                                     Rng& rng) {
+  std::vector<Vec2> obs;
+  obs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    obs.push_back(model.observe(ground_truth, rng));
+  }
+  return obs;
+}
+
+}  // namespace delphi::drone

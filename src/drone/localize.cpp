@@ -1,0 +1,45 @@
+#include "drone/localize.hpp"
+
+namespace delphi::drone {
+
+namespace {
+protocol::DelphiProtocol::Config coord_config(
+    const LocalizationProtocol::Config& cfg, std::uint32_t channel) {
+  protocol::DelphiProtocol::Config d;
+  d.n = cfg.n;
+  d.t = cfg.t;
+  d.params = cfg.params;
+  d.channel = channel;
+  return d;
+}
+}  // namespace
+
+LocalizationProtocol::LocalizationProtocol(Config cfg, Vec2 observation)
+    : x_(coord_config(cfg, kChannelX), observation.x),
+      y_(coord_config(cfg, kChannelY), observation.y) {}
+
+void LocalizationProtocol::on_start(net::Context& ctx) {
+  x_.on_start(ctx);
+  y_.on_start(ctx);
+}
+
+void LocalizationProtocol::on_message(net::Context& ctx, NodeId from,
+                                      std::uint32_t channel,
+                                      const net::MessageBody& body) {
+  if (channel == kChannelX) {
+    x_.on_message(ctx, from, channel, body);
+  } else if (channel == kChannelY) {
+    y_.on_message(ctx, from, channel, body);
+  } else {
+    throw ProtocolViolation("localization: unknown channel");
+  }
+}
+
+std::optional<Vec2> LocalizationProtocol::position() const {
+  const auto x = x_.output_value();
+  const auto y = y_.output_value();
+  if (!x || !y) return std::nullopt;
+  return Vec2{*x, *y};
+}
+
+}  // namespace delphi::drone

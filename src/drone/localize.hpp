@@ -1,0 +1,54 @@
+#pragma once
+/// \file localize.hpp
+/// Fleet localization protocol: agree on a target's 2-D position by running
+/// two Delphi instances, one per coordinate (the paper: "drones use two
+/// instances of Delphi to agree on each coordinate individually", §VI-B).
+
+#include <optional>
+
+#include "delphi/delphi.hpp"
+#include "drone/detection.hpp"
+#include "net/protocol.hpp"
+
+namespace delphi::drone {
+
+/// One drone agreeing on a 2-D location with its fleet.
+class LocalizationProtocol final : public net::Protocol,
+                                   public net::ValueOutput {
+ public:
+  struct Config {
+    std::size_t n = 4;
+    std::size_t t = 1;
+    protocol::DelphiParams params;  ///< per-coordinate parameters (§VI-B)
+  };
+
+  LocalizationProtocol(Config cfg, Vec2 observation);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, std::uint32_t channel,
+                  const net::MessageBody& body) override;
+  bool terminated() const override {
+    return x_.terminated() && y_.terminated();
+  }
+
+  /// Agreed position, once terminated.
+  std::optional<Vec2> position() const;
+
+  /// ValueOutput: the agreed x coordinate (harness convenience; tests use
+  /// position() for the full answer).
+  std::optional<double> output_value() const override {
+    return x_.output_value();
+  }
+
+  const protocol::DelphiProtocol& x_instance() const noexcept { return x_; }
+  const protocol::DelphiProtocol& y_instance() const noexcept { return y_; }
+
+ private:
+  static constexpr std::uint32_t kChannelX = 0;
+  static constexpr std::uint32_t kChannelY = 1;
+
+  protocol::DelphiProtocol x_;
+  protocol::DelphiProtocol y_;
+};
+
+}  // namespace delphi::drone

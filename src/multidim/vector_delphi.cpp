@@ -1,0 +1,73 @@
+#include "multidim/vector_delphi.hpp"
+
+#include "common/error.hpp"
+
+namespace delphi::multidim {
+
+VectorDelphiProtocol::Config VectorDelphiProtocol::Config::uniform(
+    std::size_t n, std::size_t t, const protocol::DelphiParams& p,
+    std::size_t dims) {
+  Config c;
+  c.n = n;
+  c.t = t;
+  c.params.assign(dims, p);
+  return c;
+}
+
+VectorDelphiProtocol::VectorDelphiProtocol(Config cfg,
+                                           std::vector<double> input)
+    : cfg_(std::move(cfg)) {
+  if (cfg_.params.empty()) {
+    throw ConfigError("VectorDelphi: dimension must be >= 1");
+  }
+  if (input.size() != cfg_.params.size()) {
+    throw ConfigError("VectorDelphi: input dimension mismatch");
+  }
+  coords_.reserve(cfg_.params.size());
+  for (std::size_t c = 0; c < cfg_.params.size(); ++c) {
+    protocol::DelphiProtocol::Config dc;
+    dc.n = cfg_.n;
+    dc.t = cfg_.t;
+    dc.params = cfg_.params[c];
+    dc.channel = cfg_.channel_base + static_cast<std::uint32_t>(c);
+    coords_.push_back(
+        std::make_unique<protocol::DelphiProtocol>(dc, input[c]));
+  }
+}
+
+void VectorDelphiProtocol::on_start(net::Context& ctx) {
+  for (auto& coord : coords_) coord->on_start(ctx);
+}
+
+void VectorDelphiProtocol::on_message(net::Context& ctx, NodeId from,
+                                      std::uint32_t channel,
+                                      const net::MessageBody& body) {
+  DELPHI_REQUIRE(channel >= cfg_.channel_base &&
+                     channel < cfg_.channel_base + coords_.size(),
+                 "VectorDelphi: channel out of range");
+  auto& coord = coords_[channel - cfg_.channel_base];
+  const bool was_done = coord->terminated();
+  coord->on_message(ctx, from, channel, body);
+  if (!was_done && coord->terminated()) ++done_;
+}
+
+std::optional<std::vector<double>> VectorDelphiProtocol::output_vector()
+    const {
+  if (!terminated()) return std::nullopt;
+  std::vector<double> out;
+  out.reserve(coords_.size());
+  for (const auto& coord : coords_) {
+    const auto v = coord->output_value();
+    DELPHI_ASSERT(v.has_value(), "VectorDelphi: child terminated w/o output");
+    out.push_back(*v);
+  }
+  return out;
+}
+
+const protocol::DelphiProtocol& VectorDelphiProtocol::coordinate(
+    std::size_t c) const {
+  DELPHI_ASSERT(c < coords_.size(), "VectorDelphi: coordinate out of range");
+  return *coords_[c];
+}
+
+}  // namespace delphi::multidim

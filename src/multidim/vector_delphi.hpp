@@ -1,0 +1,79 @@
+#pragma once
+/// \file vector_delphi.hpp
+/// Multi-dimensional Delphi: approximate agreement on d-dimensional vectors
+/// by running one DelphiProtocol per coordinate, multiplexed over channels.
+///
+/// This is exactly the construction the paper deploys for the drone
+/// application (§VI-B): "As input L_T,i = (x, y) is a 2D vector, drones use
+/// two instances of Delphi to agree on each coordinate individually." The
+/// per-coordinate guarantees compose directly:
+///  * Termination: every coordinate instance terminates, so the vector does.
+///  * Validity: coordinate c of the output lies in the rho-relaxed interval
+///    of honest coordinate-c inputs, i.e. the output lies in the relaxed
+///    *bounding box* of honest input vectors (box validity — weaker than the
+///    convex-hull validity of Mendes-Herlihy-style MDAA, but sufficient for
+///    the paper's localization use case and exponentially cheaper).
+///  * Agreement: |o_i - o_j|_inf <= max_c eps_c, so the Euclidean distance is
+///    at most sqrt(d) * eps.
+///
+/// All coordinates' traffic shares one transport; coordinate c's messages
+/// travel on channel base + c.
+
+#include <optional>
+#include <vector>
+
+#include "delphi/delphi.hpp"
+#include "net/protocol.hpp"
+
+namespace delphi::multidim {
+
+/// Implemented by protocols whose result is a d-dimensional point.
+class VectorOutput {
+ public:
+  virtual ~VectorOutput() = default;
+
+  /// The node's decided vector, or nullopt before termination.
+  virtual std::optional<std::vector<double>> output_vector() const = 0;
+};
+
+/// One node agreeing on a d-dimensional vector via d Delphi instances.
+class VectorDelphiProtocol final : public net::Protocol, public VectorOutput {
+ public:
+  struct Config {
+    std::size_t n = 4;
+    std::size_t t = 1;
+    /// Per-coordinate parameters; size() defines the dimension d >= 1.
+    std::vector<protocol::DelphiParams> params;
+    /// Coordinate c uses channel `channel_base + c`.
+    std::uint32_t channel_base = 0;
+
+    /// Same parameters for every one of `dims` coordinates.
+    static Config uniform(std::size_t n, std::size_t t,
+                          const protocol::DelphiParams& p, std::size_t dims);
+  };
+
+  VectorDelphiProtocol(Config cfg, std::vector<double> input);
+
+  void on_start(net::Context& ctx) override;
+  void on_message(net::Context& ctx, NodeId from, std::uint32_t channel,
+                  const net::MessageBody& body) override;
+  bool terminated() const override { return done_ == coords_.size(); }
+
+  std::optional<std::vector<double>> output_vector() const override;
+
+  /// Dimension d.
+  std::size_t dims() const noexcept { return coords_.size(); }
+
+  /// Per-coordinate protocol (diagnostics: level reports, r_max, ...).
+  const protocol::DelphiProtocol& coordinate(std::size_t c) const;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+  /// unique_ptr: DelphiProtocol is neither movable nor copyable.
+  std::vector<std::unique_ptr<protocol::DelphiProtocol>> coords_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace delphi::multidim

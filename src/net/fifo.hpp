@@ -1,0 +1,67 @@
+#pragma once
+/// \file fifo.hpp
+/// FIFO re-ordering buffer — the "FIFO broadcast" building block the paper
+/// borrows from Abraham et al.: receivers process a sender's messages in send
+/// order even though the network reorders them. The sender stamps a per-link
+/// sequence number; the receiver releases message k only after 0..k-1.
+///
+/// Used by the simulator's optional FIFO-link mode (which BinAA's compact
+/// delta codec requires) and by the TCP transport's per-connection inbox.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace delphi::net {
+
+/// Order-restoring buffer for one directed link. `Item` is any movable type.
+template <typename Item>
+class FifoReorderBuffer {
+ public:
+  /// Insert the item with the sender-assigned sequence number; returns every
+  /// item that is now deliverable, in sequence order (possibly empty).
+  /// Duplicate sequence numbers (Byzantine sender / retransmit) keep the
+  /// first-received copy.
+  std::vector<Item> push(std::uint64_t seq, Item item) {
+    std::vector<Item> ready;
+    if (seq < next_) return ready;            // stale duplicate
+    pending_.emplace(seq, std::move(item));   // keeps first copy on duplicate
+    while (true) {
+      auto it = pending_.find(next_);
+      if (it == pending_.end()) break;
+      ready.push_back(std::move(it->second));
+      pending_.erase(it);
+      ++next_;
+    }
+    return ready;
+  }
+
+  /// Next sequence number this link expects to release.
+  std::uint64_t next_expected() const noexcept { return next_; }
+
+  /// Number of buffered out-of-order items.
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, Item> pending_;
+};
+
+/// Per-link sequence-number allocator for the sending side.
+class FifoSequencer {
+ public:
+  explicit FifoSequencer(std::size_t n) : next_(n, 0) {}
+
+  /// Sequence number for the next message to `to`.
+  std::uint64_t next(std::size_t to) {
+    DELPHI_ASSERT(to < next_.size(), "FifoSequencer: bad destination");
+    return next_[to]++;
+  }
+
+ private:
+  std::vector<std::uint64_t> next_;
+};
+
+}  // namespace delphi::net

@@ -1,0 +1,15 @@
+#include "net/message.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace delphi::net {
+
+std::size_t framed_size(std::size_t payload_size, std::uint32_t channel,
+                        bool authenticated) noexcept {
+  return 4                              // u32 length prefix
+         + uvarint_size(channel)        // channel id
+         + payload_size                 // body
+         + (authenticated ? crypto::kMacTagSize : 0);
+}
+
+}  // namespace delphi::net

@@ -1,0 +1,49 @@
+#pragma once
+/// \file message.hpp
+/// Wire-message abstraction shared by the simulator and the TCP transport.
+///
+/// Protocol messages are immutable value objects derived from MessageBody.
+/// Every message knows its exact encoded size (`wire_size`) and how to
+/// serialize itself; the simulator's fast path passes typed message objects
+/// by shared_ptr (no per-delivery serialization) while *accounting* bytes as
+/// if each copy were encoded, MAC'd and framed — so bandwidth metrics match
+/// what the TCP transport actually puts on the wire. Codec unit tests pin the
+/// two representations together (serialize → decode → equal, encoded length
+/// == wire_size()).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace delphi::net {
+
+/// Base class of all protocol messages.
+class MessageBody {
+ public:
+  virtual ~MessageBody() = default;
+
+  /// Exact number of payload bytes `serialize` will produce.
+  virtual std::size_t wire_size() const = 0;
+
+  /// Encode the payload (excluding envelope framing and MAC tag).
+  virtual void serialize(ByteWriter& w) const = 0;
+
+  /// One-line description for logs/tests.
+  virtual std::string debug() const = 0;
+};
+
+/// Shared immutable handle; a broadcast allocates the body once and shares it
+/// across all n deliveries.
+using MessagePtr = std::shared_ptr<const MessageBody>;
+
+/// Per-message envelope overhead on the wire:
+///   u32 length frame + uvarint channel + payload + 32-byte HMAC tag.
+/// Returns the total frame size for a payload of `payload_size` bytes sent on
+/// `channel`, with or without authentication.
+std::size_t framed_size(std::size_t payload_size, std::uint32_t channel,
+                        bool authenticated) noexcept;
+
+}  // namespace delphi::net

@@ -1,0 +1,99 @@
+#include "net/mux.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace delphi::net {
+
+/// Offsets outgoing channels by the session's window base. Deliveries are
+/// un-offset by the mux before they reach the session, so the sub-protocol
+/// sees a private channel space starting at 0.
+class SessionMux::WindowContext final : public Context {
+ public:
+  WindowContext(Context& inner, std::uint32_t base)
+      : inner_(inner), base_(base) {}
+
+  NodeId self() const override { return inner_.self(); }
+  std::size_t n() const override { return inner_.n(); }
+  SimTime now() const override { return inner_.now(); }
+  void send(NodeId to, std::uint32_t channel, MessagePtr msg) override {
+    inner_.send(to, base_ + channel, std::move(msg));
+  }
+  void broadcast(std::uint32_t channel, MessagePtr msg) override {
+    inner_.broadcast(base_ + channel, std::move(msg));
+  }
+  void charge_compute(SimTime us) override { inner_.charge_compute(us); }
+  Rng& rng() override { return inner_.rng(); }
+
+ private:
+  Context& inner_;
+  std::uint32_t base_;
+};
+
+SessionMux::SessionMux(Config cfg, SessionFactory factory)
+    : cfg_(cfg), factory_(std::move(factory)) {
+  if (cfg_.expected < 1) throw ConfigError("SessionMux: expected must be >= 1");
+  if (cfg_.stride < 1) throw ConfigError("SessionMux: stride must be >= 1");
+  if (!factory_) throw ConfigError("SessionMux: factory required");
+  // The last session's window must fit the 32-bit channel space.
+  if (static_cast<std::uint64_t>(cfg_.expected) * cfg_.stride >
+      std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError("SessionMux: expected * stride overflows channel space");
+  }
+  sessions_.resize(cfg_.expected);
+  finished_.assign(cfg_.expected, false);
+}
+
+void SessionMux::on_start(Context& ctx) {
+  if (cfg_.mode == Mode::kConcurrent) {
+    for (std::uint32_t sid = 0; sid < cfg_.expected; ++sid) {
+      ensure_open(ctx, sid);
+    }
+  } else {
+    ensure_open(ctx, 0);
+  }
+  // A session may terminate within its own on_start (degenerate protocols);
+  // settle the chain.
+  for (std::uint32_t sid = 0; sid < cfg_.expected; ++sid) {
+    if (sessions_[sid]) after_delivery(ctx, sid);
+  }
+}
+
+void SessionMux::ensure_open(Context& ctx, std::uint32_t sid) {
+  DELPHI_ASSERT(sid < cfg_.expected, "SessionMux: sid out of range");
+  if (sessions_[sid]) return;
+  sessions_[sid] = factory_(sid);
+  DELPHI_ASSERT(sessions_[sid] != nullptr, "SessionMux: factory returned null");
+  ++open_;
+  WindowContext wctx(ctx, sid * cfg_.stride);
+  sessions_[sid]->on_start(wctx);
+}
+
+void SessionMux::on_message(Context& ctx, NodeId from, std::uint32_t channel,
+                            const MessageBody& body) {
+  const std::uint32_t sid = channel / cfg_.stride;
+  DELPHI_REQUIRE(sid < cfg_.expected, "SessionMux: channel beyond sessions");
+  // Lazy open: a peer already progressed into this session.
+  ensure_open(ctx, sid);
+  WindowContext wctx(ctx, sid * cfg_.stride);
+  sessions_[sid]->on_message(wctx, from, channel % cfg_.stride, body);
+  after_delivery(ctx, sid);
+}
+
+void SessionMux::after_delivery(Context& ctx, std::uint32_t sid) {
+  if (finished_[sid] || !sessions_[sid]->terminated()) return;
+  finished_[sid] = true;
+  ++done_;
+  if (cfg_.mode == Mode::kSequential && sid + 1 < cfg_.expected) {
+    ensure_open(ctx, sid + 1);
+    after_delivery(ctx, sid + 1);  // degenerate immediate termination
+  }
+}
+
+const Protocol* SessionMux::session(std::uint32_t sid) const {
+  DELPHI_ASSERT(sid < cfg_.expected, "SessionMux: sid out of range");
+  return sessions_[sid].get();
+}
+
+}  // namespace delphi::net

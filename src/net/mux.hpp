@@ -1,0 +1,82 @@
+#pragma once
+/// \file mux.hpp
+/// SessionMux: run many protocol instances ("sessions") over one long-lived
+/// transport — the shape of a real oracle deployment, where the network
+/// produces one agreement per minute (§VI-A: "one price report every
+/// minute") without tearing the mesh down between instances.
+///
+/// The channel space is partitioned into per-session windows of `stride`
+/// channels: session `sid` owns channels [sid*stride, (sid+1)*stride). A
+/// session's protocol is built by the deployment-supplied factory and runs
+/// behind a Context shim that offsets its channels into the window.
+///
+/// Sessions open three ways:
+///  * kConcurrent — all `expected` sessions start together (parallel
+///    agreement on many quantities over one mesh);
+///  * kSequential — session sid+1 starts locally when sid terminates (the
+///    one-report-per-minute pipeline);
+///  * lazily in both modes — the first message for a not-yet-open session
+///    opens it (a fast peer may be a session ahead; asynchronous semantics
+///    make starting "late" indistinguishable from slow links).
+/// The mux terminates when all `expected` sessions opened and terminated.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace delphi::net {
+
+/// Multiplexes `expected` sub-protocols over one transport.
+class SessionMux final : public Protocol {
+ public:
+  enum class Mode { kConcurrent, kSequential };
+
+  /// Builds session `sid`'s protocol (e.g. a DelphiProtocol around the
+  /// node's minute-`sid` reading). Called at most once per sid.
+  using SessionFactory =
+      std::function<std::unique_ptr<Protocol>(std::uint32_t sid)>;
+
+  struct Config {
+    /// Number of sessions this deployment will run.
+    std::uint32_t expected = 1;
+    /// Channels per session window; must exceed every sub-protocol's channel
+    /// use (Delphi uses 1; Abraham uses rounds*(n+1)+1; DORA uses 0xD1).
+    std::uint32_t stride = 1 << 16;
+    Mode mode = Mode::kSequential;
+  };
+
+  SessionMux(Config cfg, SessionFactory factory);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, NodeId from, std::uint32_t channel,
+                  const MessageBody& body) override;
+  bool terminated() const override { return done_ == cfg_.expected; }
+
+  /// The session's protocol, or nullptr if not yet opened.
+  const Protocol* session(std::uint32_t sid) const;
+
+  /// Sessions opened so far.
+  std::size_t open_count() const noexcept { return open_; }
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  /// Context shim offsetting a session's channels into its window.
+  class WindowContext;
+
+  /// Open (build + start) session sid if not yet open.
+  void ensure_open(Context& ctx, std::uint32_t sid);
+  /// Track a session's termination edge; sequential mode chains the next.
+  void after_delivery(Context& ctx, std::uint32_t sid);
+
+  Config cfg_;
+  SessionFactory factory_;
+  std::vector<std::unique_ptr<Protocol>> sessions_;
+  std::vector<bool> finished_;
+  std::size_t open_ = 0;
+  std::uint32_t done_ = 0;
+};
+
+}  // namespace delphi::net

@@ -1,0 +1,72 @@
+#include "oracle/dora.hpp"
+
+#include <cmath>
+
+namespace delphi::oracle {
+
+DoraProtocol::DoraProtocol(Config cfg, double input)
+    : cfg_(cfg), delphi_(cfg.delphi, input) {
+  DELPHI_ASSERT(cfg_.attestor != nullptr, "DORA requires an attestor");
+}
+
+void DoraProtocol::on_start(net::Context& ctx) {
+  delphi_.on_start(ctx);
+  after_delphi(ctx);
+}
+
+void DoraProtocol::on_message(net::Context& ctx, NodeId from,
+                              std::uint32_t channel,
+                              const net::MessageBody& body) {
+  if (certificate_) return;
+  if (channel == kAttestChannel) {
+    const auto* msg = dynamic_cast<const AttestMessage*>(&body);
+    DELPHI_REQUIRE(msg != nullptr, "DORA: foreign attest message");
+    // Verify the share (Byzantine tags are dropped); cost charged per the
+    // testbed model.
+    ctx.charge_compute(cfg_.verify_compute_us);
+    crypto::AttestationShare share{from, msg->value_index(), msg->tag()};
+    if (cfg_.attestor->verify(share)) {
+      shares_.push_back(share);
+      try_certify();
+    }
+    return;
+  }
+  if (!delphi_.terminated()) {
+    delphi_.on_message(ctx, from, channel, body);
+    after_delphi(ctx);
+  }
+}
+
+void DoraProtocol::after_delphi(net::Context& ctx) {
+  if (share_sent_ || !delphi_.terminated()) return;
+  share_sent_ = true;
+  // Round the Delphi output to the nearest multiple of eps and endorse it.
+  const double eps = cfg_.delphi.params.eps;
+  const auto idx = static_cast<std::int64_t>(
+      std::llround(*delphi_.output_value() / eps));
+  ctx.charge_compute(cfg_.sign_compute_us);
+  const auto share = cfg_.attestor->sign(ctx.self(), idx);
+  shares_.push_back(share);
+  ctx.broadcast(kAttestChannel,
+                std::make_shared<AttestMessage>(idx, share.tag));
+  try_certify();
+}
+
+void DoraProtocol::try_certify() {
+  if (certificate_) return;
+  certificate_ =
+      cfg_.attestor->try_assemble(shares_, cfg_.delphi.t + 1);
+}
+
+std::optional<double> DoraProtocol::output_value() const {
+  if (!certificate_) return std::nullopt;
+  return static_cast<double>(certificate_->value_index) *
+         cfg_.delphi.params.eps;
+}
+
+const crypto::Certificate& DoraProtocol::certificate() const {
+  DELPHI_ASSERT(certificate_.has_value(), "DORA certificate before quorum");
+  return *certificate_;
+}
+
+}  // namespace delphi::oracle

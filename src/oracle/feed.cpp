@@ -1,0 +1,65 @@
+#include "oracle/feed.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace delphi::oracle {
+
+PriceFeed::PriceFeed(FeedConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng),
+      range_dist_(cfg.range_alpha, cfg.range_scale),
+      mid_(cfg.initial_price) {
+  DELPHI_ASSERT(cfg_.exchanges >= 2, "PriceFeed: need >= 2 exchanges");
+  DELPHI_ASSERT(cfg_.initial_price > 0.0, "PriceFeed: bad initial price");
+}
+
+std::vector<double> PriceFeed::next_minute() {
+  // Geometric random-walk step for the mid price.
+  stats::Normal step(0.0, cfg_.minute_volatility);
+  mid_ *= std::exp(step.sample(rng_));
+
+  // Draw this minute's cross-exchange range from the fitted Fréchet and
+  // scatter the exchanges inside it, pinning both endpoints so the realized
+  // range equals the draw.
+  last_range_ = range_dist_.sample(rng_);
+  std::vector<double> prices(cfg_.exchanges);
+  prices[0] = mid_ - 0.5 * last_range_;
+  prices[1] = mid_ + 0.5 * last_range_;
+  for (std::size_t i = 2; i < cfg_.exchanges; ++i) {
+    prices[i] = mid_ + (rng_.uniform() - 0.5) * last_range_;
+  }
+  // Shuffle so "exchange 0" is not always the minimum (Fisher–Yates).
+  for (std::size_t i = prices.size(); i > 1; --i) {
+    std::swap(prices[i - 1], prices[rng_.below(i)]);
+  }
+  return prices;
+}
+
+double node_observation(const std::vector<double>& snapshot,
+                        std::size_t queries, Rng& rng) {
+  DELPHI_ASSERT(!snapshot.empty(), "node_observation: empty snapshot");
+  queries = std::clamp<std::size_t>(queries, 1, snapshot.size());
+  std::vector<double> picked;
+  picked.reserve(queries);
+  for (std::size_t q = 0; q < queries; ++q) {
+    picked.push_back(snapshot[rng.below(snapshot.size())]);
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked[picked.size() / 2];
+}
+
+std::vector<double> range_history(const FeedConfig& cfg, std::size_t minutes,
+                                  std::uint64_t seed) {
+  PriceFeed feed(cfg, Rng(seed));
+  std::vector<double> deltas;
+  deltas.reserve(minutes);
+  for (std::size_t m = 0; m < minutes; ++m) {
+    feed.next_minute();
+    deltas.push_back(feed.last_range());
+  }
+  return deltas;
+}
+
+}  // namespace delphi::oracle

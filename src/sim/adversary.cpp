@@ -1,0 +1,57 @@
+#include "sim/adversary.hpp"
+
+#include "common/error.hpp"
+
+namespace delphi::sim {
+
+RandomDelayAdversary::RandomDelayAdversary(SimTime max_extra)
+    : max_extra_(max_extra) {
+  if (max_extra < 0) throw ConfigError("RandomDelayAdversary: negative delay");
+}
+
+SimTime RandomDelayAdversary::extra_delay(NodeId, NodeId, SimTime, Rng& rng) {
+  return rng.range(0, max_extra_);
+}
+
+TargetedLagAdversary::TargetedLagAdversary(std::set<NodeId> victims,
+                                           SimTime lag)
+    : victims_(std::move(victims)), lag_(lag) {
+  if (lag < 0) throw ConfigError("TargetedLagAdversary: negative lag");
+}
+
+SimTime TargetedLagAdversary::extra_delay(NodeId from, NodeId to, SimTime,
+                                          Rng&) {
+  if (victims_.contains(from) || victims_.contains(to)) return lag_;
+  return 0;
+}
+
+PartitionAdversary::PartitionAdversary(std::set<NodeId> group_a,
+                                       SimTime heal_at, SimTime jitter)
+    : group_a_(std::move(group_a)), heal_at_(heal_at), jitter_(jitter) {
+  if (heal_at < 0) throw ConfigError("PartitionAdversary: negative heal time");
+  if (jitter < 0) throw ConfigError("PartitionAdversary: negative jitter");
+}
+
+SimTime PartitionAdversary::extra_delay(NodeId from, NodeId to, SimTime at,
+                                        Rng& rng) {
+  if (at >= heal_at_) return 0;
+  const bool from_a = group_a_.contains(from);
+  const bool to_a = group_a_.contains(to);
+  if (from_a == to_a) return 0;  // same side of the cut
+  return (heal_at_ - at) + rng.range(0, jitter_);
+}
+
+BurstReorderAdversary::BurstReorderAdversary(SimTime period)
+    : period_(period) {
+  if (period <= 0) throw ConfigError("BurstReorderAdversary: period must be > 0");
+}
+
+SimTime BurstReorderAdversary::extra_delay(NodeId, NodeId, SimTime at,
+                                           Rng& rng) {
+  const SimTime into_window = at % period_;
+  const SimTime to_boundary = period_ - into_window;
+  // Earlier sends get held longer past the boundary → LIFO-ish bursts.
+  return to_boundary + (period_ - into_window) / 2 + rng.range(0, period_ / 4);
+}
+
+}  // namespace delphi::sim

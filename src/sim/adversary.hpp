@@ -1,0 +1,89 @@
+#pragma once
+/// \file adversary.hpp
+/// Network-level adversary: the asynchronous model lets the adversary delay
+/// and reorder (but not drop) every message between honest nodes. These
+/// strategies perturb delivery on top of the base latency model; protocol
+/// correctness tests run under each of them.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace delphi::sim {
+
+/// Extra-delay policy applied to every message (0 = deliver on schedule).
+class NetworkAdversary {
+ public:
+  virtual ~NetworkAdversary() = default;
+
+  /// Additional delay in µs for a message from -> to sent at `at`.
+  /// Must be finite (the model forbids message drops).
+  virtual SimTime extra_delay(NodeId from, NodeId to, SimTime at,
+                              Rng& rng) = 0;
+};
+
+/// Benign network: no interference.
+class NoAdversary final : public NetworkAdversary {
+ public:
+  SimTime extra_delay(NodeId, NodeId, SimTime, Rng&) override { return 0; }
+};
+
+/// Adds uniform random delay in [0, max_extra] to every message — a cheap,
+/// aggressive reordering adversary (later messages routinely overtake earlier
+/// ones once max_extra exceeds the base latency spread).
+class RandomDelayAdversary final : public NetworkAdversary {
+ public:
+  explicit RandomDelayAdversary(SimTime max_extra);
+  SimTime extra_delay(NodeId from, NodeId to, SimTime at, Rng& rng) override;
+
+ private:
+  SimTime max_extra_;
+};
+
+/// Delays every message *from or to* a victim set by a fixed amount —
+/// simulates the adversary isolating a subset of honest nodes for a while.
+/// Victims are slow but not partitioned (asynchrony, not crash).
+class TargetedLagAdversary final : public NetworkAdversary {
+ public:
+  TargetedLagAdversary(std::set<NodeId> victims, SimTime lag);
+  SimTime extra_delay(NodeId from, NodeId to, SimTime at, Rng& rng) override;
+
+ private:
+  std::set<NodeId> victims_;
+  SimTime lag_;
+};
+
+/// Temporary partition: until `heal_at`, all traffic crossing the cut between
+/// `group_a` and its complement is held back so it arrives only after the
+/// partition heals (plus jitter, so arrivals don't collapse to one instant).
+/// Asynchronous protocols must ride this out — no quorum spans the cut until
+/// the heal.
+class PartitionAdversary final : public NetworkAdversary {
+ public:
+  PartitionAdversary(std::set<NodeId> group_a, SimTime heal_at,
+                     SimTime jitter = 10'000);
+  SimTime extra_delay(NodeId from, NodeId to, SimTime at, Rng& rng) override;
+
+ private:
+  std::set<NodeId> group_a_;
+  SimTime heal_at_;
+  SimTime jitter_;
+};
+
+/// Release messages in bursts: every message is held to the end of its
+/// `period`-sized window, and messages sent *early* in a window are held
+/// longer, so within a burst later sends overtake earlier ones (worst-case
+/// reordering pressure for FIFO-free protocol logic).
+class BurstReorderAdversary final : public NetworkAdversary {
+ public:
+  explicit BurstReorderAdversary(SimTime period);
+  SimTime extra_delay(NodeId from, NodeId to, SimTime at, Rng& rng) override;
+
+ private:
+  SimTime period_;
+};
+
+}  // namespace delphi::sim

@@ -1,0 +1,66 @@
+#include "sim/byzantine.hpp"
+
+namespace delphi::sim {
+
+/// Context wrapper that counts (and eventually swallows) outgoing messages.
+class CrashAfterProtocol::FilterContext final : public net::Context {
+ public:
+  FilterContext(net::Context& inner, std::uint64_t& budget, bool& crashed)
+      : inner_(inner), budget_(budget), crashed_(crashed) {}
+
+  NodeId self() const override { return inner_.self(); }
+  std::size_t n() const override { return inner_.n(); }
+  SimTime now() const override { return inner_.now(); }
+  Rng& rng() override { return inner_.rng(); }
+  void charge_compute(SimTime us) override { inner_.charge_compute(us); }
+
+  void send(NodeId to, std::uint32_t channel, net::MessagePtr msg) override {
+    if (crashed_) return;
+    if (budget_ == 0) {
+      crashed_ = true;
+      return;
+    }
+    --budget_;
+    inner_.send(to, channel, std::move(msg));
+  }
+
+  void broadcast(std::uint32_t channel, net::MessagePtr msg) override {
+    // A crash can strike mid-broadcast: deliver to a prefix of nodes only.
+    for (NodeId to = 0; to < inner_.n(); ++to) {
+      send(to, channel, msg);
+    }
+  }
+
+ private:
+  net::Context& inner_;
+  std::uint64_t& budget_;
+  bool& crashed_;
+};
+
+void CrashAfterProtocol::on_start(net::Context& ctx) {
+  FilterContext fctx(ctx, budget_, crashed_);
+  inner_->on_start(fctx);
+}
+
+void CrashAfterProtocol::on_message(net::Context& ctx, NodeId from,
+                                    std::uint32_t channel,
+                                    const net::MessageBody& body) {
+  if (crashed_) return;
+  FilterContext fctx(ctx, budget_, crashed_);
+  inner_->on_message(fctx, from, channel, body);
+}
+
+void GarbageSprayProtocol::spray(net::Context& ctx) {
+  // Cap total junk so adversarial nodes can't keep the simulation alive
+  // forever by replying to their own echoes.
+  if (sent_ > 10'000) return;
+  for (std::size_t i = 0; i < spray_; ++i) {
+    const auto to = static_cast<NodeId>(ctx.rng().below(ctx.n()));
+    const auto channel = static_cast<std::uint32_t>(ctx.rng().below(64));
+    const auto size = static_cast<std::size_t>(ctx.rng().range(1, 64));
+    ctx.send(to, channel, std::make_shared<GarbageMessage>(size));
+    ++sent_;
+  }
+}
+
+}  // namespace delphi::sim

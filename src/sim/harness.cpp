@@ -1,0 +1,33 @@
+#include "sim/harness.hpp"
+
+namespace delphi::sim {
+
+RunOutcome run_nodes(const SimConfig& cfg, const ProtocolFactory& factory,
+                     const std::set<NodeId>& byzantine) {
+  Simulator sim(cfg);
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    sim.add_node(factory(i));
+  }
+  sim.set_byzantine(byzantine);
+
+  RunOutcome out;
+  out.all_honest_terminated = sim.run();
+  out.metrics = sim.metrics();
+  for (NodeId i = 0; i < cfg.n; ++i) {
+    if (byzantine.contains(i)) continue;
+    out.honest_bytes += sim.node_metrics(i).bytes_sent;
+    out.honest_msgs += sim.node_metrics(i).msgs_sent;
+    if (const auto* vo = dynamic_cast<const ValueOutput*>(&sim.node(i))) {
+      if (auto v = vo->output_value()) out.honest_outputs.push_back(*v);
+    }
+  }
+  return out;
+}
+
+std::set<NodeId> last_t_byzantine(std::size_t n, std::size_t t) {
+  std::set<NodeId> ids;
+  for (std::size_t i = n - t; i < n; ++i) ids.insert(static_cast<NodeId>(i));
+  return ids;
+}
+
+}  // namespace delphi::sim

@@ -1,0 +1,42 @@
+#pragma once
+/// \file harness.hpp
+/// Convenience layer for "build n nodes, run, collect outputs" — used by
+/// tests, examples, and every bench binary.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace delphi::sim {
+
+/// Protocol output interface (see net/protocol.hpp).
+using ValueOutput = net::ValueOutput;
+
+/// Result of a harness run.
+struct RunOutcome {
+  bool all_honest_terminated = false;
+  SimMetrics metrics;
+  /// Outputs of honest nodes that implement ValueOutput, in node-id order.
+  std::vector<double> honest_outputs;
+  /// Bytes sent by honest nodes only (the complexity the paper reports).
+  std::uint64_t honest_bytes = 0;
+  std::uint64_t honest_msgs = 0;
+};
+
+/// Builds node i's protocol. Byzantine placements return adversarial
+/// implementations.
+using ProtocolFactory =
+    std::function<std::unique_ptr<net::Protocol>(NodeId id)>;
+
+/// Construct a simulator from `cfg`, populate nodes via `factory`, mark
+/// `byzantine`, run to completion, and harvest outputs + traffic stats.
+RunOutcome run_nodes(const SimConfig& cfg, const ProtocolFactory& factory,
+                     const std::set<NodeId>& byzantine = {});
+
+/// Default Byzantine placement used across tests/benches: the *last* t node
+/// ids. (Protocol logic is id-agnostic; tests also exercise other placements.)
+std::set<NodeId> last_t_byzantine(std::size_t n, std::size_t t);
+
+}  // namespace delphi::sim

@@ -1,0 +1,57 @@
+#include "sim/latency.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace delphi::sim {
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+  if (lo < 0 || hi < lo) throw ConfigError("UniformLatency: bad bounds");
+}
+
+SimTime UniformLatency::delay(NodeId, NodeId, Rng& rng) const {
+  return rng.range(lo_, hi_);
+}
+
+namespace {
+/// One-way delays in milliseconds between the 8 evaluation regions, shaped
+/// after public inter-region RTT measurements (half-RTT). Order:
+/// 0 us-east-1 (N. Virginia), 1 us-east-2 (Ohio), 2 us-west-1 (N. California),
+/// 3 us-west-2 (Oregon), 4 ca-central-1 (Canada), 5 eu-west-1 (Ireland),
+/// 6 ap-southeast-1 (Singapore), 7 ap-northeast-1 (Tokyo).
+constexpr std::array<std::array<double, 8>, 8> kOneWayMs = {{
+    //  VA     OH     CA     OR    CAN    IRE    SGP    TYO
+    {{1.0,   6.0,  32.0,  38.0,   8.0,  38.0, 110.0,  75.0}},  // VA
+    {{6.0,   1.0,  25.0,  35.0,  13.0,  43.0, 105.0,  80.0}},  // OH
+    {{32.0, 25.0,   1.0,  11.0,  40.0,  70.0,  85.0,  55.0}},  // CA
+    {{38.0, 35.0,  11.0,   1.0,  30.0,  62.0,  82.0,  48.0}},  // OR
+    {{8.0,  13.0,  40.0,  30.0,   1.0,  35.0, 110.0,  75.0}},  // CAN
+    {{38.0, 43.0,  70.0,  62.0,  35.0,   1.0,  90.0, 105.0}},  // IRE
+    {{110.0,105.0, 85.0,  82.0, 110.0,  90.0,   1.0,  35.0}},  // SGP
+    {{75.0, 80.0,  55.0,  48.0,  75.0, 105.0,  35.0,   1.0}},  // TYO
+}};
+}  // namespace
+
+AwsGeoLatency::AwsGeoLatency(std::size_t n) : n_(n) {
+  DELPHI_ASSERT(n >= 1, "AwsGeoLatency: n >= 1");
+}
+
+std::size_t AwsGeoLatency::region_of(NodeId node) const {
+  DELPHI_ASSERT(node < n_, "AwsGeoLatency: node out of range");
+  // The paper distributes nodes equally across the 8 regions.
+  return node % kRegions;
+}
+
+SimTime AwsGeoLatency::delay(NodeId from, NodeId to, Rng& rng) const {
+  const double base_ms = kOneWayMs[region_of(from)][region_of(to)];
+  // ±20 % multiplicative jitter models routing/queueing variability.
+  const double jitter = rng.uniform(0.8, 1.2);
+  return static_cast<SimTime>(base_ms * jitter * 1000.0);
+}
+
+SimTime CpsLanLatency::delay(NodeId, NodeId, Rng& rng) const {
+  return rng.range(300, 1200);
+}
+
+}  // namespace delphi::sim

@@ -1,0 +1,70 @@
+#pragma once
+/// \file latency.hpp
+/// Network latency models for the two testbeds the paper evaluates on.
+///
+/// * AwsGeoLatency — 8 AWS regions (N. Virginia, Ohio, N. California, Oregon,
+///   Canada, Ireland, Singapore, Tokyo; §VI-C), nodes assigned round-robin,
+///   one-way delays from a public-RTT-shaped matrix plus multiplicative
+///   jitter. WAN latency dominates here, which is why Delphi's higher round
+///   count hurts it at small n (Fig 6a).
+/// * CpsLanLatency — Raspberry-Pi devices behind one switch: sub-millisecond
+///   base delay with jitter. Latency is negligible; bandwidth and CPU
+///   dominate (Fig 6c / Fig 7 right panel).
+/// * UniformLatency — plain asynchronous-network model for unit tests.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace delphi::sim {
+
+/// One-way message delay source. Implementations must return values >= 0;
+/// they may be random but must draw only from the supplied Rng (determinism).
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Delay in microseconds for a message from -> to injected now.
+  virtual SimTime delay(NodeId from, NodeId to, Rng& rng) const = 0;
+};
+
+/// Uniform delay in [lo, hi] µs between every pair.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi);
+  SimTime delay(NodeId from, NodeId to, Rng& rng) const override;
+
+ private:
+  SimTime lo_, hi_;
+};
+
+/// Geo-distributed AWS model: 8 regions, round-robin placement, matrix of
+/// one-way delays, ±20 % multiplicative jitter.
+class AwsGeoLatency final : public LatencyModel {
+ public:
+  /// \param n  number of nodes (for region assignment).
+  explicit AwsGeoLatency(std::size_t n);
+
+  SimTime delay(NodeId from, NodeId to, Rng& rng) const override;
+
+  /// Region index (0..7) a node lives in.
+  std::size_t region_of(NodeId node) const;
+
+  /// Number of regions in the model.
+  static constexpr std::size_t kRegions = 8;
+
+ private:
+  std::size_t n_;
+};
+
+/// Single-switch LAN: uniform base in [300, 1200] µs.
+class CpsLanLatency final : public LatencyModel {
+ public:
+  CpsLanLatency() = default;
+  SimTime delay(NodeId from, NodeId to, Rng& rng) const override;
+};
+
+}  // namespace delphi::sim

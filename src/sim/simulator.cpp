@@ -1,0 +1,261 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace delphi::sim {
+
+CostModel CostModel::fast() {
+  return CostModel{/*uplink_bytes_per_us=*/1e12, /*per_msg_send_us=*/0.0,
+                   /*per_msg_recv_us=*/0.0, /*per_byte_cpu_us=*/0.0};
+}
+
+CostModel CostModel::aws() {
+  // t2.micro (1 vCPU) on a WAN: ~100 Mbit/s effective uplink. Per-message
+  // CPU reflects measured small-message costs of a tokio/TCP/HMAC stack on
+  // burstable single-core instances (tens of µs each) — this is what makes
+  // O(n³)-message protocols CPU-bound at n = 160 while latency dominates
+  // for O(n²)-message Delphi (EXPERIMENTS.md, calibration).
+  return CostModel{/*uplink_bytes_per_us=*/12.5, /*per_msg_send_us=*/15.0,
+                   /*per_msg_recv_us=*/25.0, /*per_byte_cpu_us=*/0.008};
+}
+
+CostModel CostModel::cps() {
+  // Raspberry Pi 4 processes sharing a switch (several emulated nodes per
+  // device): ~20 Mbit/s effective per process, slow cores — per-message and
+  // per-byte CPU an order of magnitude above AWS.
+  return CostModel{/*uplink_bytes_per_us=*/2.5, /*per_msg_send_us=*/60.0,
+                   /*per_msg_recv_us=*/100.0, /*per_byte_cpu_us=*/0.05};
+}
+
+namespace {
+SimTime us_round(double v) { return static_cast<SimTime>(std::llround(v)); }
+}  // namespace
+
+// ----------------------------------------------------------- NodeContext --
+
+class Simulator::NodeContext final : public net::Context {
+ public:
+  NodeContext(Simulator& sim, NodeId self, SimTime start)
+      : sim_(sim), self_(self), start_(start) {}
+
+  NodeId self() const override { return self_; }
+  std::size_t n() const override { return sim_.cfg_.n; }
+  SimTime now() const override { return start_ + compute_; }
+
+  void send(NodeId to, std::uint32_t channel, net::MessagePtr msg) override {
+    DELPHI_ASSERT(to < sim_.cfg_.n, "send: destination out of range");
+    DELPHI_ASSERT(msg != nullptr, "send: null message");
+    outbox_.push_back(Outgoing{to, channel, std::move(msg)});
+  }
+
+  void broadcast(std::uint32_t channel, net::MessagePtr msg) override {
+    DELPHI_ASSERT(msg != nullptr, "broadcast: null message");
+    for (NodeId to = 0; to < sim_.cfg_.n; ++to) {
+      outbox_.push_back(Outgoing{to, channel, msg});
+    }
+  }
+
+  void charge_compute(SimTime us) override {
+    DELPHI_ASSERT(us >= 0, "charge_compute: negative time");
+    compute_ += us;
+  }
+
+  Rng& rng() override { return sim_.nodes_[self_].rng; }
+
+  SimTime compute_charged() const noexcept { return compute_; }
+  std::vector<Outgoing> take_outbox() noexcept { return std::move(outbox_); }
+
+ private:
+  Simulator& sim_;
+  NodeId self_;
+  SimTime start_;
+  SimTime compute_ = 0;
+  std::vector<Outgoing> outbox_;
+};
+
+// ------------------------------------------------------------- Simulator --
+
+Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.n == 0) throw ConfigError("Simulator: n must be >= 1");
+  if (!cfg_.latency) {
+    cfg_.latency = std::make_shared<UniformLatency>(100, 10'000);
+  }
+  if (!cfg_.adversary) cfg_.adversary = std::make_shared<NoAdversary>();
+  Rng master(cfg_.seed);
+  net_rng_ = master.fork(0x4E455457 /*"NETW"*/);
+  nodes_.reserve(cfg_.n);
+}
+
+void Simulator::add_node(std::unique_ptr<net::Protocol> protocol) {
+  DELPHI_ASSERT(protocol != nullptr, "add_node: null protocol");
+  if (nodes_.size() >= cfg_.n) throw ConfigError("add_node: too many nodes");
+  NodeState state;
+  state.protocol = std::move(protocol);
+  Rng master(cfg_.seed);
+  state.rng = master.fork(0x4E4F4445 /*"NODE"*/ + nodes_.size());
+  if (cfg_.fifo_links) {
+    state.fifo_next_seq.assign(cfg_.n, 0);
+    state.fifo_in.resize(cfg_.n);
+  }
+  nodes_.push_back(std::move(state));
+}
+
+void Simulator::set_byzantine(std::set<NodeId> ids) {
+  for (NodeId id : ids) {
+    DELPHI_ASSERT(id < cfg_.n, "set_byzantine: id out of range");
+  }
+  byzantine_ = std::move(ids);
+}
+
+net::Protocol& Simulator::node(NodeId id) {
+  DELPHI_ASSERT(id < nodes_.size(), "node: id out of range");
+  return *nodes_[id].protocol;
+}
+
+const net::Protocol& Simulator::node(NodeId id) const {
+  DELPHI_ASSERT(id < nodes_.size(), "node: id out of range");
+  return *nodes_[id].protocol;
+}
+
+const NodeMetrics& Simulator::node_metrics(NodeId id) const {
+  DELPHI_ASSERT(id < nodes_.size(), "node_metrics: id out of range");
+  return nodes_[id].metrics;
+}
+
+bool Simulator::run() {
+  DELPHI_ASSERT(nodes_.size() == cfg_.n, "run: add_node not called n times");
+  if (!started_) {
+    started_ = true;
+    for (NodeId i = 0; i < cfg_.n; ++i) {
+      queue_.push(Event{/*at=*/0, next_seq_++, /*to=*/i, /*from=*/i,
+                        /*channel=*/0, /*msg=*/nullptr, /*fifo_seq=*/0});
+    }
+  }
+  const std::size_t honest_count = cfg_.n - byzantine_.size();
+  while (!queue_.empty()) {
+    if (metrics_.events_processed >= cfg_.max_events) {
+      DLOG(kWarn) << "simulator: max_events reached at t=" << now_;
+      break;
+    }
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++metrics_.events_processed;
+    deliver(ev);
+    if (honest_terminated_ == honest_count) break;
+  }
+  metrics_.all_honest_terminated = (honest_terminated_ == honest_count);
+  if (metrics_.all_honest_terminated) {
+    SimTime worst = 0;
+    for (NodeId i = 0; i < cfg_.n; ++i) {
+      if (byzantine_.contains(i)) continue;
+      worst = std::max(worst, nodes_[i].metrics.terminated_at);
+    }
+    metrics_.honest_completion = worst;
+  }
+  return metrics_.all_honest_terminated;
+}
+
+void Simulator::deliver(const Event& ev) {
+  NodeState& node = nodes_[ev.to];
+  if (cfg_.fifo_links && ev.msg != nullptr && ev.from != ev.to) {
+    // Release in sender order; predecessors may still be in flight.
+    for (Event& ready : node.fifo_in[ev.from].push(ev.fifo_seq, Event(ev))) {
+      dispatch(ready);
+    }
+    return;
+  }
+  dispatch(ev);
+}
+
+void Simulator::dispatch(const Event& ev) {
+  NodeState& node = nodes_[ev.to];
+  // CPU model: the handler starts when both the message has arrived (now_)
+  // and the node finished earlier work.
+  const SimTime start = std::max(now_, node.busy_until);
+  NodeContext ctx(*this, ev.to, start);
+
+  std::size_t wire = 0;
+  try {
+    if (ev.msg == nullptr) {
+      node.protocol->on_start(ctx);
+    } else {
+      ++node.metrics.msgs_delivered;
+      wire = ev.msg->wire_size();
+      node.protocol->on_message(ctx, ev.from, ev.channel, *ev.msg);
+    }
+  } catch (const ProtocolViolation&) {
+    ++node.metrics.malformed_dropped;
+  } catch (const SerializationError&) {
+    ++node.metrics.malformed_dropped;
+  }
+
+  const SimTime recv_cost =
+      ev.msg == nullptr
+          ? 0
+          : us_round(cfg_.cost.per_msg_recv_us +
+                     static_cast<double>(wire) * cfg_.cost.per_byte_cpu_us);
+  const SimTime finish = start + recv_cost + ctx.compute_charged();
+  node.busy_until = finish;
+
+  flush_outbox(node, ev.to, finish, ctx.take_outbox());
+
+  if (!node.terminated_recorded && node.protocol->terminated()) {
+    node.terminated_recorded = true;
+    node.metrics.terminated_at = finish;
+    if (!byzantine_.contains(ev.to)) ++honest_terminated_;
+  }
+}
+
+void Simulator::flush_outbox(NodeState& node, NodeId from, SimTime cpu_ready,
+                             std::vector<Outgoing>&& outbox) {
+  SimTime cpu = cpu_ready;
+  for (Outgoing& out : outbox) {
+    const std::size_t payload = out.msg->wire_size();
+
+    if (out.to == from) {
+      // Loopback: delivered through the local queue, no network resources.
+      queue_.push(Event{cpu, next_seq_++, out.to, from, out.channel,
+                        std::move(out.msg), 0});
+      continue;
+    }
+
+    std::uint64_t fifo_seq = 0;
+    std::size_t seq_bytes = 0;
+    if (cfg_.fifo_links) {
+      fifo_seq = node.fifo_next_seq[out.to]++;
+      seq_bytes = uvarint_size(fifo_seq);
+    }
+    const std::size_t frame =
+        net::framed_size(payload + seq_bytes, out.channel, cfg_.auth_channels);
+
+    // Sending costs CPU (framing + MAC), then occupies the uplink.
+    cpu += us_round(cfg_.cost.per_msg_send_us +
+                    static_cast<double>(frame) * cfg_.cost.per_byte_cpu_us);
+    const SimTime serialize =
+        us_round(static_cast<double>(frame) / cfg_.cost.uplink_bytes_per_us);
+    const SimTime departure = std::max(node.uplink_free, cpu) + serialize;
+    node.uplink_free = departure;
+
+    const SimTime arrival = departure +
+                            cfg_.latency->delay(from, out.to, net_rng_) +
+                            cfg_.adversary->extra_delay(from, out.to, departure,
+                                                        net_rng_);
+    queue_.push(Event{arrival, next_seq_++, out.to, from, out.channel,
+                      std::move(out.msg), fifo_seq});
+
+    ++node.metrics.msgs_sent;
+    node.metrics.bytes_sent += frame;
+    ++metrics_.total_msgs;
+    metrics_.total_bytes += frame;
+  }
+  node.busy_until = cpu;
+}
+
+bool Simulator::honest_all_done() const {
+  return honest_terminated_ == cfg_.n - byzantine_.size();
+}
+
+}  // namespace delphi::sim

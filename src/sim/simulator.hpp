@@ -1,0 +1,194 @@
+#pragma once
+/// \file simulator.hpp
+/// Deterministic discrete-event simulator of an asynchronous message-passing
+/// system — the stand-in for the paper's AWS and Raspberry-Pi testbeds (see
+/// DESIGN.md substitutions).
+///
+/// The model captures the three resources that drive the paper's results:
+///   1. *Latency*  — per-pair one-way delay from a LatencyModel, plus a
+///      NetworkAdversary that may add arbitrary finite delay (asynchrony).
+///   2. *Bandwidth* — each node has one uplink; outgoing frames serialize at
+///      `uplink_bytes_per_us` (per-round volume matters on CPS, Fig 7).
+///   3. *CPU* — nodes process messages serially; receive/send/crypto costs
+///      extend a busy-until clock (FIN's coins are expensive here).
+///
+/// Same SimConfig + same protocols ⇒ bit-identical run (all randomness flows
+/// from one seed; the event queue breaks time ties by sequence number).
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/fifo.hpp"
+#include "net/message.hpp"
+#include "net/protocol.hpp"
+#include "sim/adversary.hpp"
+#include "sim/latency.hpp"
+
+namespace delphi::sim {
+
+/// CPU and bandwidth cost model. All costs in µs (fractions accumulate in
+/// double and round when applied).
+struct CostModel {
+  /// Uplink throughput in bytes per µs (12.5 B/µs == 100 Mbit/s).
+  double uplink_bytes_per_us = 1e9;
+  /// Fixed CPU cost to send one message (syscall + MAC).
+  double per_msg_send_us = 0.0;
+  /// Fixed CPU cost to receive one message (syscall + MAC verify).
+  double per_msg_recv_us = 0.0;
+  /// CPU cost per payload byte (hashing / copying), applied on send and recv.
+  double per_byte_cpu_us = 0.0;
+
+  /// Essentially-free model for unit tests (pure asynchrony semantics).
+  static CostModel fast();
+  /// Shaped after t2.micro instances on a WAN (latency-dominated).
+  static CostModel aws();
+  /// Shaped after Raspberry Pi 4 processes sharing a switch (bandwidth- and
+  /// CPU-dominated).
+  static CostModel cps();
+};
+
+/// Simulation deployment parameters.
+struct SimConfig {
+  std::size_t n = 4;
+  std::uint64_t seed = 1;
+  std::shared_ptr<LatencyModel> latency;        ///< default Uniform[100µs,10ms]
+  std::shared_ptr<NetworkAdversary> adversary;  ///< default NoAdversary
+  CostModel cost = CostModel::fast();
+  /// Add 32-byte HMAC tags to every frame (the paper's authenticated
+  /// channels). Affects bytes and CPU, not protocol logic.
+  bool auth_channels = true;
+  /// Deliver per-link messages in send order (sequence numbers + reorder
+  /// buffer). Costs a few bytes per frame. Required by BinAA's compact codec.
+  bool fifo_links = false;
+  /// Safety valve: abort the run after this many deliveries.
+  std::size_t max_events = 400'000'000;
+};
+
+/// Per-node traffic/termination metrics.
+struct NodeMetrics {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t malformed_dropped = 0;
+  /// Time the node's protocol first reported terminated(); -1 if never.
+  SimTime terminated_at = -1;
+};
+
+/// Whole-run metrics.
+struct SimMetrics {
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t events_processed = 0;
+  /// Max termination time over honest nodes; -1 if some honest node never
+  /// terminated.
+  SimTime honest_completion = -1;
+  bool all_honest_terminated = false;
+};
+
+/// The simulator. Usage:
+///   Simulator sim(cfg);
+///   for (i in 0..n) sim.add_node(make_protocol(i));
+///   sim.set_byzantine({...});           // optional
+///   sim.run();
+///   auto& m = sim.metrics();
+class Simulator {
+ public:
+  explicit Simulator(SimConfig cfg);
+
+  /// Install node i's protocol (call exactly n times, in node order).
+  void add_node(std::unique_ptr<net::Protocol> protocol);
+
+  /// Declare which node ids are Byzantine (their termination is not awaited
+  /// and their traffic is reported separately by honest/total split).
+  void set_byzantine(std::set<NodeId> ids);
+
+  /// Execute until every honest node terminates, the event queue drains, or
+  /// max_events fires. Returns true iff all honest nodes terminated.
+  bool run();
+
+  /// Access a node's protocol (e.g. to read outputs after run()).
+  net::Protocol& node(NodeId id);
+  const net::Protocol& node(NodeId id) const;
+
+  /// Typed access helper.
+  template <typename T>
+  T& node_as(NodeId id) {
+    auto* p = dynamic_cast<T*>(&node(id));
+    DELPHI_ASSERT(p != nullptr, "node_as: wrong protocol type");
+    return *p;
+  }
+
+  const NodeMetrics& node_metrics(NodeId id) const;
+  const SimMetrics& metrics() const noexcept { return metrics_; }
+  const SimConfig& config() const noexcept { return cfg_; }
+  const std::set<NodeId>& byzantine() const noexcept { return byzantine_; }
+  bool is_byzantine(NodeId id) const { return byzantine_.contains(id); }
+
+  /// Current simulated time (max event time processed so far).
+  SimTime now() const noexcept { return now_; }
+
+ private:
+  struct Event {
+    SimTime at = 0;
+    std::uint64_t seq = 0;    // tie-break: FIFO among equal times
+    NodeId to = 0;
+    NodeId from = 0;
+    std::uint32_t channel = 0;
+    net::MessagePtr msg;      // nullptr => start event
+    std::uint64_t fifo_seq = 0;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Outgoing {
+    NodeId to;
+    std::uint32_t channel;
+    net::MessagePtr msg;
+  };
+
+  class NodeContext;  // implements net::Context
+
+  struct NodeState {
+    std::unique_ptr<net::Protocol> protocol;
+    Rng rng{0};
+    /// CPU is busy (receiving/sending/crypto) until this time.
+    SimTime busy_until = 0;
+    /// Uplink is serializing earlier frames until this time.
+    SimTime uplink_free = 0;
+    NodeMetrics metrics;
+    bool terminated_recorded = false;
+    /// Sender-side FIFO sequence numbers (when fifo_links).
+    std::vector<std::uint64_t> fifo_next_seq;
+    /// Receiver-side reorder buffers indexed by sender (when fifo_links).
+    std::vector<net::FifoReorderBuffer<Event>> fifo_in;
+  };
+
+  void deliver(const Event& ev);
+  void dispatch(const Event& ev);
+  void flush_outbox(NodeState& node, NodeId from, SimTime cpu_ready,
+                    std::vector<Outgoing>&& outbox);
+  bool honest_all_done() const;
+
+  SimConfig cfg_;
+  std::vector<NodeState> nodes_;
+  std::set<NodeId> byzantine_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0;
+  Rng net_rng_{0};
+  SimMetrics metrics_;
+  std::size_t honest_terminated_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace delphi::sim

@@ -1,0 +1,189 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+
+namespace delphi::stats {
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// ---------------------------------------------------------------- Normal --
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw ConfigError("Normal: sigma must be > 0");
+}
+
+double Normal::sample(Rng& rng) const {
+  // Polar Box–Muller; we deliberately discard the second variate to keep the
+  // sampler stateless (bit-exact replay does not depend on call pairing).
+  for (;;) {
+    const double u = 2.0 * rng.uniform() - 1.0;
+    const double v = 2.0 * rng.uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return mu_ + sigma_ * u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Normal::cdf(double x) const { return normal_cdf((x - mu_) / sigma_); }
+
+// ------------------------------------------------------------- LogNormal --
+
+LogNormal::LogNormal(double mu, double sigma)
+    : base_(mu, sigma), mu_(mu), sigma_(sigma) {}
+
+double LogNormal::sample(Rng& rng) const { return std::exp(base_.sample(rng)); }
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return base_.cdf(std::log(x));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+// ----------------------------------------------------------------- Gamma --
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw ConfigError("Gamma: shape and scale must be > 0");
+  }
+}
+
+double Gamma::sample(Rng& rng) const {
+  // Marsaglia–Tsang. For k < 1 sample Gamma(k + 1) and boost by U^(1/k).
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.uniform_pos(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  Normal std_normal(0.0, 1.0);
+  for (;;) {
+    const double x = std_normal.sample(rng);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform_pos();
+    if (u < 1.0 - 0.0331 * x * x * x * x ||
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+double Gamma::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return gamma_p(shape_, x / scale_);
+}
+
+// ---------------------------------------------------------------- Pareto --
+
+Pareto::Pareto(double alpha, double xm) : alpha_(alpha), xm_(xm) {
+  if (!(alpha > 0.0) || !(xm > 0.0)) {
+    throw ConfigError("Pareto: alpha and xm must be > 0");
+  }
+}
+
+double Pareto::sample(Rng& rng) const {
+  return xm_ / std::pow(rng.uniform_pos(), 1.0 / alpha_);
+}
+
+double Pareto::cdf(double x) const {
+  if (x < xm_) return 0.0;
+  return 1.0 - std::pow(xm_ / x, alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+// --------------------------------------------------------------- Frechet --
+
+Frechet::Frechet(double alpha, double scale, double loc)
+    : alpha_(alpha), scale_(scale), loc_(loc) {
+  if (!(alpha > 0.0) || !(scale > 0.0)) {
+    throw ConfigError("Frechet: alpha and scale must be > 0");
+  }
+}
+
+double Frechet::sample(Rng& rng) const {
+  // Inverse CDF: x = m + s * (-ln U)^(-1/alpha).
+  return loc_ + scale_ * std::pow(-std::log(rng.uniform_pos()), -1.0 / alpha_);
+}
+
+double Frechet::cdf(double x) const {
+  if (x <= loc_) return 0.0;
+  return std::exp(-std::pow((x - loc_) / scale_, -alpha_));
+}
+
+double Frechet::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return loc_ + scale_ * std::tgamma(1.0 - 1.0 / alpha_);
+}
+
+double Frechet::quantile(double p) const {
+  DELPHI_ASSERT(p > 0.0 && p < 1.0, "Frechet quantile domain");
+  return loc_ + scale_ * std::pow(-std::log(p), -1.0 / alpha_);
+}
+
+// ---------------------------------------------------------------- Gumbel --
+
+Gumbel::Gumbel(double loc, double scale) : loc_(loc), scale_(scale) {
+  if (!(scale > 0.0)) throw ConfigError("Gumbel: scale must be > 0");
+}
+
+double Gumbel::sample(Rng& rng) const {
+  return loc_ - scale_ * std::log(-std::log(rng.uniform_pos()));
+}
+
+double Gumbel::cdf(double x) const {
+  return std::exp(-std::exp(-(x - loc_) / scale_));
+}
+
+double Gumbel::mean() const { return loc_ + scale_ * kEulerGamma; }
+
+double Gumbel::quantile(double p) const {
+  DELPHI_ASSERT(p > 0.0 && p < 1.0, "Gumbel quantile domain");
+  return loc_ - scale_ * std::log(-std::log(p));
+}
+
+// -------------------------------------------------------------- LogGamma --
+
+LogGamma::LogGamma(double shape, double scale)
+    : base_(shape, scale), shape_(shape), scale_(scale) {}
+
+double LogGamma::sample(Rng& rng) const { return std::exp(base_.sample(rng)); }
+
+double LogGamma::cdf(double x) const {
+  if (x <= 1.0) return 0.0;  // exp(Gamma) >= exp(0) = 1
+  return base_.cdf(std::log(x));
+}
+
+double LogGamma::mean() const {
+  // E[exp(G)] = (1 - scale)^(-shape) for scale < 1 (Gamma MGF at t = 1).
+  if (scale_ >= 1.0) return std::numeric_limits<double>::infinity();
+  return std::pow(1.0 - scale_, -shape_);
+}
+
+// --------------------------------------------------------------- Uniform --
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  if (!(b > a)) throw ConfigError("Uniform: need b > a");
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(a_, b_); }
+
+double Uniform::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= b_) return 1.0;
+  return (x - a_) / (b_ - a_);
+}
+
+}  // namespace delphi::stats

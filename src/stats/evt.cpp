@@ -1,0 +1,117 @@
+#include "stats/evt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/summary.hpp"
+
+namespace delphi::stats {
+
+namespace {
+
+/// Median via bisection on the CDF (robust for every family in the kit).
+double median_of(const Distribution& dist) {
+  double lo = -1.0, hi = 1.0;
+  // Expand until the CDF brackets 0.5.
+  for (int i = 0; i < 200 && dist.cdf(lo) > 0.5; ++i) lo *= 2.0;
+  for (int i = 0; i < 200 && dist.cdf(hi) < 0.5; ++i) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (dist.cdf(mid) < 0.5) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double range_bound(const Distribution& dist, std::size_t n,
+                   double lambda_bits) {
+  DELPHI_ASSERT(n >= 1, "range_bound: n >= 1");
+  const double target = std::exp2(-lambda_bits);
+  const double m = median_of(dist);
+  const auto nn = static_cast<double>(n);
+
+  const auto tail_prob = [&](double delta) {
+    const double upper = nn * (1.0 - dist.cdf(m + 0.5 * delta));
+    const double lower = nn * dist.cdf(m - 0.5 * delta);
+    return upper + lower;
+  };
+
+  double hi = 1.0;
+  int guard = 0;
+  while (tail_prob(hi) > target) {
+    hi *= 2.0;
+    if (++guard > 2000) {
+      throw ConfigError("range_bound: tail too fat for requested lambda");
+    }
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (tail_prob(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+double range_bound_normal(double sigma, std::size_t n, double lambda_bits) {
+  DELPHI_ASSERT(sigma > 0.0 && n >= 2, "range_bound_normal domain");
+  const double ln_n = std::log(static_cast<double>(n));
+  const double sq = std::sqrt(2.0 * ln_n);
+  // Classical normalizing constants for the normal maximum.
+  const double b_n =
+      sigma * (sq - (std::log(ln_n) + std::log(4.0 * M_PI)) / (2.0 * sq));
+  const double a_n = sigma / sq;
+  const double lambda_nats = lambda_bits * std::numbers::ln2;
+  // Gumbel quantile at 1 - 2^-λ is ≈ λ ln 2 for large λ; the range doubles
+  // the one-sided excursion.
+  return 2.0 * (std::max(b_n, 0.0) + a_n * lambda_nats);
+}
+
+double range_bound_frechet(double alpha, double scale, std::size_t n,
+                           double lambda_bits) {
+  DELPHI_ASSERT(alpha > 0.0 && scale > 0.0 && n >= 1,
+                "range_bound_frechet domain");
+  // max of n Fréchet(alpha, s) is Fréchet(alpha, s * n^{1/alpha}); invert its
+  // CDF at p = 1 - 2^-λ: x = s n^{1/α} (-ln p)^{-1/α}, and -ln p ≈ 2^-λ.
+  const double p_tail = std::exp2(-lambda_bits);
+  const double scale_n =
+      scale * std::pow(static_cast<double>(n), 1.0 / alpha);
+  // -ln(1 - p_tail) ≈ p_tail for small tails; guard against p_tail ~ 1.
+  const double neg_log_p = -std::log1p(-std::min(p_tail, 0.999999));
+  return scale_n * std::pow(neg_log_p, -1.0 / alpha);
+}
+
+double sample_range(const Distribution& dist, std::size_t n, Rng& rng) {
+  DELPHI_ASSERT(n >= 1, "sample_range: n >= 1");
+  double mn = dist.sample(rng);
+  double mx = mn;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = dist.sample(rng);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  return mx - mn;
+}
+
+double empirical_range_quantile(const Distribution& dist, std::size_t n,
+                                double q, std::size_t trials, Rng& rng) {
+  DELPHI_ASSERT(trials >= 1, "empirical_range_quantile: trials >= 1");
+  std::vector<double> ranges;
+  ranges.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    ranges.push_back(sample_range(dist, n, rng));
+  }
+  return quantile(std::move(ranges), q);
+}
+
+}  // namespace delphi::stats

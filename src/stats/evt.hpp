@@ -1,0 +1,53 @@
+#pragma once
+/// \file evt.hpp
+/// Extreme-value machinery for deriving Delphi's max-range parameter ∆.
+///
+/// The paper (§IV-D) assumes honest inputs are n iid samples from a known-ish
+/// family and picks ∆ = f(n, λ) such that the realized range
+/// δ = max - min exceeds ∆ only with probability ≤ 2^-λ:
+///   * thin tails (Normal/Gamma): range → Gumbel, ∆ = O(λ log n)
+///   * fat tails (Pareto/LogGamma, tail index α): range → Fréchet,
+///     ∆ = O(e^λ n^{1/α})
+/// We provide (a) a distribution-generic numeric bound via a union-bound
+/// inversion of the CDF, (b) the Gumbel/Fréchet closed forms used in the
+/// complexity table, and (c) a Monte-Carlo estimator for validation.
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "stats/distributions.hpp"
+
+namespace delphi::stats {
+
+/// Generic tail bound: smallest ∆ such that
+///   n * (1 - F(m + ∆/2)) + n * F(m - ∆/2) <= 2^-lambda_bits,
+/// where m is the distribution's median. By the union bound over the n
+/// samples' deviations from the median this implies P(range > ∆) <= 2^-λ.
+/// Found by bisection on the CDF; works for every Distribution in the kit.
+double range_bound(const Distribution& dist, std::size_t n, double lambda_bits);
+
+/// Closed-form thin-tail bound for Normal(mu, sigma): the classical EVT
+/// normalizing sequences give max_n ≈ Gumbel(b_n, a_n) with
+/// b_n = sigma*sqrt(2 ln n) (minus the log-log correction) and
+/// a_n = sigma / sqrt(2 ln n); the range bound at security λ is
+/// 2*(b_n + a_n * λ ln 2). Grows as O(λ + log n) * O(sigma) — the paper's
+/// ∆ = O(λ log n) envelope.
+double range_bound_normal(double sigma, std::size_t n, double lambda_bits);
+
+/// Closed-form fat-tail bound for tail index alpha (Pareto/Fréchet/LogGamma):
+/// max_n ≈ Fréchet with scale ~ scale * n^{1/alpha}; inverting the Fréchet
+/// CDF at 1 - 2^-λ gives ∆ ≈ scale * n^{1/alpha} * (λ ln 2)^{1/alpha} —
+/// the paper's ∆ = O(e^λ n^{1/alpha}) envelope (their bound is looser).
+double range_bound_frechet(double alpha, double scale, std::size_t n,
+                           double lambda_bits);
+
+/// Monte-Carlo estimate of the q-quantile of range(n) under `dist` using
+/// `trials` simulated cohorts — used by tests to validate the analytic
+/// bounds actually cover the realized ranges.
+double empirical_range_quantile(const Distribution& dist, std::size_t n,
+                                double q, std::size_t trials, Rng& rng);
+
+/// Draw one cohort of n samples and return its range (max - min).
+double sample_range(const Distribution& dist, std::size_t n, Rng& rng);
+
+}  // namespace delphi::stats

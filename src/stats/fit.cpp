@@ -1,0 +1,127 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "stats/special.hpp"
+#include "stats/summary.hpp"
+
+namespace delphi::stats {
+
+Normal fit_normal(const std::vector<double>& xs) {
+  const Summary s = summarize(xs);
+  DELPHI_ASSERT(s.count >= 2, "fit_normal needs >= 2 samples");
+  return Normal(s.mean, std::max(s.stddev, 1e-12));
+}
+
+Gumbel fit_gumbel(const std::vector<double>& xs) {
+  const Summary s = summarize(xs);
+  DELPHI_ASSERT(s.count >= 2, "fit_gumbel needs >= 2 samples");
+  const double beta = std::max(s.stddev * std::numbers::sqrt2 * std::sqrt(3.0) /
+                                   std::numbers::pi,
+                               1e-12);
+  const double mu = s.mean - kEulerGamma * beta;
+  return Gumbel(mu, beta);
+}
+
+Frechet fit_frechet(const std::vector<double>& xs) {
+  std::vector<double> logs;
+  logs.reserve(xs.size());
+  for (double x : xs) {
+    if (x > 0.0) logs.push_back(std::log(x));
+  }
+  DELPHI_ASSERT(logs.size() >= 2, "fit_frechet needs >= 2 positive samples");
+  const Gumbel g = fit_gumbel(logs);
+  const double alpha = 1.0 / g.scale();
+  const double scale = std::exp(g.loc());
+  return Frechet(alpha, scale);
+}
+
+Gamma fit_gamma(const std::vector<double>& xs) {
+  const Summary s = summarize(xs);
+  DELPHI_ASSERT(s.count >= 2, "fit_gamma needs >= 2 samples");
+  DELPHI_ASSERT(s.mean > 0.0, "fit_gamma needs positive data");
+
+  // Method-of-moments start.
+  double k = s.variance > 0.0 ? s.mean * s.mean / s.variance : 1.0;
+  k = std::clamp(k, 1e-3, 1e6);
+
+  // MLE refinement: solve ln k - psi(k) = c where c = ln(mean) - mean(ln x).
+  double mean_log = 0.0;
+  std::size_t pos = 0;
+  for (double x : xs) {
+    if (x > 0.0) {
+      mean_log += std::log(x);
+      ++pos;
+    }
+  }
+  if (pos == xs.size() && pos > 0) {
+    mean_log /= static_cast<double>(pos);
+    const double c = std::log(s.mean) - mean_log;
+    if (c > 1e-12) {
+      for (int it = 0; it < 50; ++it) {
+        const double f = std::log(k) - digamma(k) - c;
+        // d/dk (ln k - psi(k)) = 1/k - psi'(k); approximate psi' numerically.
+        const double h = std::max(1e-6 * k, 1e-9);
+        const double dpsi = (digamma(k + h) - digamma(k - h)) / (2.0 * h);
+        const double fp = 1.0 / k - dpsi;
+        if (std::fabs(fp) < 1e-18) break;
+        const double next = k - f / fp;
+        if (!(next > 0.0) || std::fabs(next - k) < 1e-12 * k) {
+          if (next > 0.0) k = next;
+          break;
+        }
+        k = next;
+      }
+    }
+  }
+  const double theta = s.mean / k;
+  return Gamma(k, std::max(theta, 1e-12));
+}
+
+double ks_statistic(std::vector<double> xs, const Distribution& dist) {
+  DELPHI_ASSERT(!xs.empty(), "ks_statistic on empty sample");
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = dist.cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(f - hi)});
+  }
+  return d;
+}
+
+std::vector<FitResult> best_fit(const std::vector<double>& xs,
+                                const std::vector<std::string>& families) {
+  std::vector<FitResult> results;
+  for (const auto& fam : families) {
+    FitResult r;
+    r.family = fam;
+    try {
+      if (fam == "Normal") {
+        r.dist = std::make_shared<Normal>(fit_normal(xs));
+      } else if (fam == "Gumbel") {
+        r.dist = std::make_shared<Gumbel>(fit_gumbel(xs));
+      } else if (fam == "Frechet") {
+        r.dist = std::make_shared<Frechet>(fit_frechet(xs));
+      } else if (fam == "Gamma") {
+        r.dist = std::make_shared<Gamma>(fit_gamma(xs));
+      } else {
+        throw ConfigError("best_fit: unknown family " + fam);
+      }
+      r.ks = ks_statistic(xs, *r.dist);
+    } catch (const Error&) {
+      continue;  // family not fittable on this data (e.g. negative values)
+    }
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) { return a.ks < b.ks; });
+  return results;
+}
+
+}  // namespace delphi::stats

@@ -1,0 +1,49 @@
+#pragma once
+/// \file fit.hpp
+/// Distribution fitting and goodness-of-fit, reproducing the paper's data
+/// analysis: Fig 4 fits Fréchet/Gumbel to Bitcoin range data (Fréchet wins,
+/// alpha = 4.41, scale = 29.3); Fig 5 fits Gamma/Fréchet to IoU data (Gamma
+/// wins). We provide method-of-moments / MLE fitters for those families and
+/// the Kolmogorov–Smirnov statistic to rank candidate fits.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace delphi::stats {
+
+/// Fit Normal by sample moments.
+Normal fit_normal(const std::vector<double>& xs);
+
+/// Fit Gumbel by method of moments: beta = s*sqrt(6)/pi, mu = mean - gamma*beta.
+Gumbel fit_gumbel(const std::vector<double>& xs);
+
+/// Fit Fréchet (location fixed at 0) via the log transform: if X ~
+/// Fréchet(alpha, s) then ln X ~ Gumbel(ln s, 1/alpha). Requires positive
+/// data; non-positive entries are dropped.
+Frechet fit_frechet(const std::vector<double>& xs);
+
+/// Fit Gamma: moment start (k = mean^2/var) refined by Newton iterations on
+/// the MLE equation ln k - psi(k) = ln(mean) - mean(ln x).
+Gamma fit_gamma(const std::vector<double>& xs);
+
+/// Kolmogorov–Smirnov statistic sup_x |F_n(x) - F(x)| of `xs` against `dist`.
+double ks_statistic(std::vector<double> xs, const Distribution& dist);
+
+/// One fitted candidate with its KS score.
+struct FitResult {
+  std::string family;
+  std::shared_ptr<Distribution> dist;
+  double ks = 1.0;
+};
+
+/// Fit every family in `families` (subset of "Normal", "Gumbel", "Frechet",
+/// "Gamma") to the data, score each by KS, and return results sorted
+/// best-first. This is exactly the paper's "we fit various probability
+/// distributions and observe X to be the best fit" methodology.
+std::vector<FitResult> best_fit(const std::vector<double>& xs,
+                                const std::vector<std::string>& families);
+
+}  // namespace delphi::stats

@@ -1,0 +1,103 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace delphi::stats {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double ss = 0.0;
+    for (double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(xs.size() - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  return s;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  DELPHI_ASSERT(!xs.empty(), "quantile of empty sample");
+  DELPHI_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of range");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= xs.size()) return xs.back();
+  return xs[idx] * (1.0 - frac) + xs[idx + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) throw ConfigError("Histogram: bad range/bins");
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::int64_t>(std::floor((x - lo_) / bin_width_));
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram::bin_left(std::size_t bin) const {
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::fraction_below(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bin_left(b) + bin_width_ <= x) {
+      below += counts_[b];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "[" << bin_left(b) << ", " << (bin_left(b) + bin_width_) << ")";
+    os << "\t" << counts_[b] << "\t" << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace delphi::stats

@@ -1,0 +1,66 @@
+#pragma once
+/// \file summary.hpp
+/// Descriptive statistics and histograms.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace delphi::stats {
+
+/// Basic moments / extremes of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1) sample variance
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Range max - min (the paper's δ when applied to honest inputs).
+  double range() const noexcept { return max - min; }
+};
+
+/// Compute Summary of a sample (empty input yields a zeroed Summary).
+Summary summarize(const std::vector<double>& xs);
+
+/// Empirical quantile with linear interpolation; q in [0, 1].
+/// Sorts a copy; fine for the data sizes used here.
+double quantile(std::vector<double> xs, double q);
+
+/// Fixed-width histogram over [lo, hi) with anything outside clamped into the
+/// first/last bin — mirrors how the paper buckets its Fig 4 / Fig 5 data.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one observation.
+  void add(double x);
+
+  /// Add many observations.
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Center value of a bin.
+  double bin_center(std::size_t bin) const;
+
+  /// Left edge of a bin.
+  double bin_left(std::size_t bin) const;
+
+  /// Fraction of observations strictly below x (piecewise from bins).
+  double fraction_below(double x) const;
+
+  /// Render as an ASCII bar chart (used by the figure benches to print the
+  /// same picture the paper plots).
+  std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace delphi::stats

@@ -1,0 +1,86 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace delphi::transport {
+
+namespace {
+
+/// MAC input is channel uvarint || payload — exactly the framed bytes the
+/// tag protects.
+crypto::Digest frame_tag(const crypto::Key& key, std::uint32_t channel,
+                         std::span<const std::uint8_t> payload) {
+  ByteWriter mac_input(uvarint_size(channel) + payload.size());
+  mac_input.uvarint(channel);
+  mac_input.raw(payload);
+  return crypto::hmac_sha256(key, mac_input.data());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(std::uint32_t channel,
+                                       std::span<const std::uint8_t> payload,
+                                       const crypto::Key* key) {
+  const std::size_t body_len = uvarint_size(channel) + payload.size() +
+                               (key != nullptr ? crypto::kMacTagSize : 0);
+  DELPHI_ASSERT(body_len <= kMaxFrameBytes, "frame: payload too large");
+  ByteWriter w(4 + body_len);
+  w.u32(static_cast<std::uint32_t>(body_len));
+  w.uvarint(channel);
+  w.raw(payload);
+  if (key != nullptr) {
+    const crypto::Digest tag = frame_tag(*key, channel, payload);
+    w.raw(tag);
+  }
+  return w.take();
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  // Compact consumed prefix lazily (avoids O(n²) erase-from-front).
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameParser::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 4) return std::nullopt;
+  ByteReader prefix(std::span<const std::uint8_t>(buf_.data() + pos_, 4));
+  const std::uint32_t body_len = prefix.u32();
+  if (body_len > kMaxFrameBytes) {
+    throw SerializationError("frame: oversized length prefix");
+  }
+  if (avail < 4 + static_cast<std::size_t>(body_len)) return std::nullopt;
+
+  std::span<const std::uint8_t> body(buf_.data() + pos_ + 4, body_len);
+  ByteReader r(body);
+  const auto channel = static_cast<std::uint32_t>(r.uvarint());
+  const std::size_t tag_len = key_ != nullptr ? crypto::kMacTagSize : 0;
+  if (r.remaining() < tag_len) {
+    throw SerializationError("frame: truncated body");
+  }
+  const std::size_t payload_len = r.remaining() - tag_len;
+  std::span<const std::uint8_t> payload = r.raw(payload_len);
+
+  if (key_ != nullptr) {
+    crypto::Digest received;
+    std::span<const std::uint8_t> tag = r.raw(crypto::kMacTagSize);
+    std::memcpy(received.data(), tag.data(), received.size());
+    const crypto::Digest expected = frame_tag(*key_, channel, payload);
+    if (!crypto::digest_equal(expected, received)) {
+      throw ProtocolViolation("frame: HMAC verification failed");
+    }
+  }
+
+  Frame f;
+  f.channel = channel;
+  f.payload.assign(payload.begin(), payload.end());
+  pos_ += 4 + static_cast<std::size_t>(body_len);
+  return f;
+}
+
+}  // namespace delphi::transport

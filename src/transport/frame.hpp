@@ -1,0 +1,68 @@
+#pragma once
+/// \file frame.hpp
+/// Wire framing for the TCP transport — the byte-exact realization of the
+/// format the simulator *accounts* (net::framed_size):
+///
+///   u32 length L (little-endian, bytes after the prefix)
+///   uvarint channel id
+///   payload (protocol message body)
+///   32-byte HMAC-SHA256 tag (when the link is authenticated)
+///
+/// The tag covers channel + payload under the pairwise link key, so a frame
+/// forged or tampered with by anyone without the key is rejected before the
+/// payload reaches protocol code. Streams are parsed incrementally: feed TCP
+/// bytes as they arrive, pop complete frames.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace delphi::transport {
+
+/// Upper bound on a single frame's post-prefix length; larger prefixes are
+/// treated as a malicious/corrupt stream (memory-exhaustion guard).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;
+
+/// One parsed frame.
+struct Frame {
+  std::uint32_t channel = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Encode a complete frame. `key == nullptr` produces an unauthenticated
+/// frame (matching framed_size(..., authenticated=false)).
+std::vector<std::uint8_t> encode_frame(std::uint32_t channel,
+                                       std::span<const std::uint8_t> payload,
+                                       const crypto::Key* key);
+
+/// Incremental frame decoder for one directed link.
+///
+/// Throws SerializationError on structurally corrupt streams and
+/// ProtocolViolation on authentication failure; a TCP stream that fails
+/// either way is unrecoverable (framing is lost), so the caller must close
+/// the link.
+class FrameParser {
+ public:
+  /// \param key  pairwise link key, or nullptr for unauthenticated links.
+  explicit FrameParser(const crypto::Key* key) : key_(key) {}
+
+  /// Append raw stream bytes.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pop the next complete frame, or nullopt if more bytes are needed.
+  std::optional<Frame> next();
+
+  /// Bytes currently buffered (tests / diagnostics).
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  const crypto::Key* key_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace delphi::transport

@@ -1,0 +1,534 @@
+#include "transport/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace delphi::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// First bytes on every link: magic + the initiator's node id, plus (on
+/// authenticated deployments) an HMAC tag under the pairwise key — without
+/// it, a keyless attacker racing the mesh bring-up could claim a legitimate
+/// node id and black-hole that link (frames would fail their MACs, but the
+/// real peer's connection would already have been rejected as a duplicate).
+constexpr std::uint32_t kHelloMagic = 0x44504849;  // "IHPD" LE == "DPHI"
+constexpr std::size_t kHelloPrefixSize = 8;
+
+std::size_t hello_size(bool auth) {
+  return kHelloPrefixSize + (auth ? crypto::kMacTagSize : 0);
+}
+
+crypto::Digest hello_tag(const crypto::Key& key, NodeId initiator) {
+  ByteWriter w(16);
+  w.u32(kHelloMagic);
+  w.u32(initiator);
+  w.str("hello");
+  return crypto::hmac_sha256(key, w.data());
+}
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Best-effort: latency tuning, not correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Bind a listening socket on 127.0.0.1 with an OS-assigned port.
+int make_listen_socket(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    ::close(fd);
+    sys_fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    sys_fail("getsockname");
+  }
+  port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Blocking connect with retry until `deadline` (peers may not be accepting
+/// yet while the cluster boots).
+int connect_with_retry(std::uint16_t port, Clock::time_point deadline) {
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket");
+    sockaddr_in addr = loopback_addr(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    if (Clock::now() >= deadline) {
+      throw Error("tcp: connect deadline exceeded (port " +
+                  std::to_string(port) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+/// Write all of `data` on a (blocking) fd.
+void write_all(int fd, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t k = ::write(fd, data.data() + off, data.size() - off);
+    if (k <= 0) sys_fail("write(hello)");
+    off += static_cast<std::size_t>(k);
+  }
+}
+
+std::vector<std::uint8_t> encode_hello(NodeId self, const crypto::Key* key) {
+  ByteWriter w(hello_size(key != nullptr));
+  w.u32(kHelloMagic);
+  w.u32(self);
+  if (key != nullptr) w.raw(hello_tag(*key, self));
+  return w.take();
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------- Node
+
+class TcpCluster::Node final : public net::Context {
+ public:
+  Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
+       const std::vector<std::uint16_t>& ports, int listen_fd,
+       std::unique_ptr<net::Protocol> protocol, Decoder decoder)
+      : self_(self),
+        opts_(opts),
+        keys_(keys),
+        ports_(ports),
+        listen_fd_(listen_fd),
+        protocol_(std::move(protocol)),
+        decoder_(std::move(decoder)),
+        rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))) {
+    peers_.reserve(opts_.n);
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      const crypto::Key* key =
+          (opts_.auth && j != self_) ? &keys_.channel_key(self_, j) : nullptr;
+      peers_.emplace_back(key);
+    }
+  }
+
+  ~Node() override {
+    for (auto& p : peers_) {
+      if (p.fd >= 0) ::close(p.fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  // ---- net::Context -------------------------------------------------------
+  NodeId self() const override { return self_; }
+  std::size_t n() const override { return opts_.n; }
+
+  SimTime now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+  void send(NodeId to, std::uint32_t channel, net::MessagePtr msg) override {
+    DELPHI_ASSERT(to < opts_.n, "tcp send: bad destination");
+    if (to == self_) {
+      local_.emplace_back(channel, std::move(msg));
+      return;
+    }
+    ByteWriter w(msg->wire_size());
+    msg->serialize(w);
+    enqueue_frame(to, channel, w.data());
+  }
+
+  void broadcast(std::uint32_t channel, net::MessagePtr msg) override {
+    ByteWriter w(msg->wire_size());
+    msg->serialize(w);
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      if (j == self_) {
+        local_.emplace_back(channel, msg);
+      } else {
+        enqueue_frame(j, channel, w.data());
+      }
+    }
+  }
+
+  void charge_compute(SimTime) override {}  // real cycles are already spent
+  Rng& rng() override { return rng_; }
+
+  // ---- lifecycle -----------------------------------------------------------
+
+  /// Entire node life: mesh setup, protocol start, event loop. Runs on the
+  /// node's own thread; never touches other nodes.
+  void run(const std::atomic<bool>& stop) {
+    try {
+      setup_mesh(stop);
+      protocol_->on_start(*this);
+      drain_local();
+      note_termination();
+      event_loop(stop);
+    } catch (const std::exception& e) {
+      error_ = e.what();
+    }
+  }
+
+  std::atomic<bool> done{false};
+
+  net::Protocol& protocol() { return *protocol_; }
+  const TransportMetrics& metrics() const { return metrics_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  struct Peer {
+    explicit Peer(const crypto::Key* key) : parser(key) {}
+
+    int fd = -1;
+    FrameParser parser;
+    /// Pending outgoing bytes (already framed); out_pos consumed prefix.
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+  };
+
+  void enqueue_frame(NodeId to, std::uint32_t channel,
+                     std::span<const std::uint8_t> payload) {
+    Peer& p = peers_[to];
+    const crypto::Key* key =
+        opts_.auth ? &keys_.channel_key(self_, to) : nullptr;
+    const auto frame = encode_frame(channel, payload, key);
+    p.out.insert(p.out.end(), frame.begin(), frame.end());
+    ++metrics_.msgs_sent;
+    metrics_.bytes_sent += frame.size();
+  }
+
+  /// Establish the full mesh: connect to every lower id, accept from every
+  /// higher id, exchanging an 8-byte hello to bind fds to node ids.
+  void setup_mesh(const std::atomic<bool>& stop) {
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(opts_.timeout_ms);
+    for (NodeId j = 0; j < self_; ++j) {
+      const int fd = connect_with_retry(ports_[j], deadline);
+      const crypto::Key* key =
+          opts_.auth ? &keys_.channel_key(self_, j) : nullptr;
+      write_all(fd, encode_hello(self_, key));
+      set_nodelay(fd);
+      set_nonblocking(fd);
+      peers_[j].fd = fd;
+    }
+
+    // Accept the n - 1 - self higher-id initiators.
+    set_nonblocking(listen_fd_);
+    std::size_t expected = opts_.n - 1 - self_;
+    struct PendingHello {
+      int fd;
+      std::vector<std::uint8_t> buf;
+    };
+    std::vector<PendingHello> pending;
+    while (expected > 0 && !stop.load(std::memory_order_relaxed)) {
+      if (Clock::now() >= deadline) throw Error("tcp: mesh setup timeout");
+      std::vector<pollfd> fds;
+      fds.push_back({listen_fd_, POLLIN, 0});
+      for (const auto& ph : pending) fds.push_back({ph.fd, POLLIN, 0});
+      ::poll(fds.data(), fds.size(), 10);
+
+      // New connections.
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nodelay(fd);
+        set_nonblocking(fd);
+        pending.push_back({fd, {}});
+      }
+      // Progress hellos.
+      const std::size_t want = hello_size(opts_.auth);
+      for (std::size_t i = 0; i < pending.size();) {
+        auto& ph = pending[i];
+        std::uint8_t tmp[64];
+        const ssize_t k = ::read(ph.fd, tmp, want - ph.buf.size());
+        if (k > 0) {
+          ph.buf.insert(ph.buf.end(), tmp, tmp + k);
+        }
+        if (ph.buf.size() == want) {
+          ByteReader r(ph.buf);
+          const std::uint32_t magic = r.u32();
+          const NodeId who = r.u32();
+          bool genuine = magic == kHelloMagic && who > self_ &&
+                         who < opts_.n && peers_[who].fd < 0;
+          if (genuine && opts_.auth) {
+            crypto::Digest received;
+            auto tag = r.raw(crypto::kMacTagSize);
+            std::memcpy(received.data(), tag.data(), received.size());
+            const auto expected_tag =
+                hello_tag(keys_.channel_key(self_, who), who);
+            genuine = crypto::digest_equal(expected_tag, received);
+          }
+          if (genuine) {
+            peers_[who].fd = ph.fd;
+            --expected;
+          } else {
+            ::close(ph.fd);  // stranger, forger, or duplicate: reject
+          }
+          pending[i] = pending.back();
+          pending.pop_back();
+        } else if (k == 0) {  // peer hung up mid-hello
+          ::close(ph.fd);
+          pending[i] = pending.back();
+          pending.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    for (const auto& ph : pending) ::close(ph.fd);
+    if (expected > 0) throw Error("tcp: mesh setup interrupted");
+  }
+
+  /// Deliver every queued self-message (handlers may enqueue more).
+  void drain_local() {
+    while (!local_.empty()) {
+      auto [channel, msg] = std::move(local_.front());
+      local_.pop_front();
+      dispatch(self_, channel, *msg);
+    }
+  }
+
+  void dispatch(NodeId from, std::uint32_t channel,
+                const net::MessageBody& body) {
+    try {
+      protocol_->on_message(*this, from, channel, body);
+      ++metrics_.msgs_delivered;
+    } catch (const Error&) {
+      ++metrics_.malformed_dropped;
+    }
+  }
+
+  void note_termination() {
+    if (!done.load(std::memory_order_relaxed) && protocol_->terminated()) {
+      done.store(true, std::memory_order_release);
+    }
+  }
+
+  void event_loop(const std::atomic<bool>& stop) {
+    std::vector<std::uint8_t> rbuf(64 * 1024);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<pollfd> fds;
+      std::vector<NodeId> owner;
+      for (NodeId j = 0; j < opts_.n; ++j) {
+        Peer& p = peers_[j];
+        if (p.fd < 0) continue;
+        short events = POLLIN;
+        if (p.out_pos < p.out.size()) events |= POLLOUT;
+        fds.push_back({p.fd, events, 0});
+        owner.push_back(j);
+      }
+      if (fds.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      ::poll(fds.data(), fds.size(), 5);
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        Peer& p = peers_[owner[i]];
+        if (p.fd < 0) continue;
+        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+          read_peer(owner[i], p, rbuf);
+        }
+        if (p.fd >= 0 && (fds[i].revents & POLLOUT)) flush_peer(p);
+        drain_local();
+      }
+      note_termination();
+    }
+  }
+
+  void read_peer(NodeId from, Peer& p, std::vector<std::uint8_t>& rbuf) {
+    while (true) {
+      const ssize_t k = ::read(p.fd, rbuf.data(), rbuf.size());
+      if (k > 0) {
+        p.parser.feed({rbuf.data(), static_cast<std::size_t>(k)});
+        pump_frames(from, p);
+        if (p.fd < 0) return;  // stream poisoned during pump
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      // EOF or hard error: peer done sending; drop the link.
+      close_link(p);
+      return;
+    }
+  }
+
+  void pump_frames(NodeId from, Peer& p) {
+    while (true) {
+      std::optional<Frame> f;
+      try {
+        f = p.parser.next();
+      } catch (const Error&) {
+        // Framing/MAC broken: the byte stream is unrecoverable.
+        ++metrics_.malformed_dropped;
+        close_link(p);
+        return;
+      }
+      if (!f) return;
+      try {
+        ByteReader r(f->payload);
+        const net::MessagePtr msg = decoder_(f->channel, r);
+        r.expect_exhausted();
+        dispatch(from, f->channel, *msg);
+      } catch (const Error&) {
+        ++metrics_.malformed_dropped;  // bad payload only: link stays up
+      }
+      drain_local();
+      note_termination();
+    }
+  }
+
+  void flush_peer(Peer& p) {
+    while (p.out_pos < p.out.size()) {
+      const ssize_t k =
+          ::write(p.fd, p.out.data() + p.out_pos, p.out.size() - p.out_pos);
+      if (k > 0) {
+        p.out_pos += static_cast<std::size_t>(k);
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      close_link(p);
+      return;
+    }
+    p.out.clear();
+    p.out_pos = 0;
+  }
+
+  void close_link(Peer& p) {
+    if (p.fd >= 0) {
+      ::close(p.fd);
+      p.fd = -1;
+    }
+  }
+
+  NodeId self_;
+  Options opts_;
+  const crypto::KeyStore& keys_;
+  std::vector<std::uint16_t> ports_;
+  int listen_fd_;
+  std::unique_ptr<net::Protocol> protocol_;
+  Decoder decoder_;
+  Rng rng_;
+  std::vector<Peer> peers_;
+  std::deque<std::pair<std::uint32_t, net::MessagePtr>> local_;
+  TransportMetrics metrics_;
+  std::string error_;
+};
+
+// ------------------------------------------------------------------ Cluster
+
+TcpCluster::TcpCluster(Options opts)
+    : opts_(opts), keys_(opts.seed, opts.n), ports_(opts.n, 0) {
+  if (opts_.n < 1) throw ConfigError("TcpCluster: n must be >= 1");
+}
+
+TcpCluster::~TcpCluster() {
+  stop_.store(true);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void TcpCluster::start(const ProtocolFactory& factory, Decoder decoder) {
+  DELPHI_ASSERT(!started_, "TcpCluster: start() called twice");
+  started_ = true;
+
+  // Open all listen sockets first so every connect() finds a live backlog.
+  std::vector<int> listen_fds(opts_.n, -1);
+  for (NodeId i = 0; i < opts_.n; ++i) {
+    listen_fds[i] = make_listen_socket(ports_[i]);
+  }
+  nodes_.reserve(opts_.n);
+  for (NodeId i = 0; i < opts_.n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_,
+                                            listen_fds[i], factory(i),
+                                            decoder));
+  }
+  threads_.reserve(opts_.n);
+  for (NodeId i = 0; i < opts_.n; ++i) {
+    threads_.emplace_back([this, i] { nodes_[i]->run(stop_); });
+  }
+}
+
+bool TcpCluster::wait() {
+  DELPHI_ASSERT(started_, "TcpCluster: wait() before start()");
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.timeout_ms);
+  bool all_done = false;
+  while (Clock::now() < deadline) {
+    all_done = true;
+    for (const auto& node : nodes_) {
+      if (!node->done.load(std::memory_order_acquire)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop_.store(true);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+  return all_done;
+}
+
+net::Protocol& TcpCluster::protocol(NodeId id) {
+  DELPHI_ASSERT(joined_, "TcpCluster: protocol() before wait()");
+  DELPHI_ASSERT(id < nodes_.size(), "TcpCluster: bad node id");
+  return nodes_[id]->protocol();
+}
+
+const TransportMetrics& TcpCluster::metrics(NodeId id) const {
+  DELPHI_ASSERT(joined_, "TcpCluster: metrics() before wait()");
+  DELPHI_ASSERT(id < nodes_.size(), "TcpCluster: bad node id");
+  return nodes_[id]->metrics();
+}
+
+std::uint16_t TcpCluster::port(NodeId id) const {
+  DELPHI_ASSERT(id < ports_.size(), "TcpCluster: bad node id");
+  return ports_[id];
+}
+
+}  // namespace delphi::transport

@@ -1,0 +1,232 @@
+/// Tests for the adaptive ∆ estimator: option validation, warm-up fallback,
+/// tail-quantile inversion against closed forms, family selection on
+/// synthetic Gumbel/Fréchet feeds, coverage of the fitted bound, rolling-
+/// window adaptation to drift, and DelphiParams assembly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaptive/range_estimator.hpp"
+#include "common/rng.hpp"
+#include "stats/distributions.hpp"
+
+namespace delphi::adaptive {
+namespace {
+
+RangeEstimator::Options small_options() {
+  RangeEstimator::Options o;
+  o.window = 4096;
+  o.min_samples = 64;
+  o.lambda_bits = 20.0;
+  o.fallback_delta = 100.0;
+  o.safety_factor = 1.0;
+  o.refit_interval = 64;
+  return o;
+}
+
+// ------------------------------------------------------------------ options
+
+TEST(AdaptiveOptions, Validation) {
+  auto bad = small_options();
+  bad.window = 0;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.min_samples = 4;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.lambda_bits = 0.0;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.fallback_delta = 0.0;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.safety_factor = 0.5;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.refit_interval = 0;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  bad = small_options();
+  bad.max_delta = 0.0;
+  EXPECT_THROW(RangeEstimator{bad}, ConfigError);
+  EXPECT_NO_THROW(RangeEstimator{small_options()});
+}
+
+TEST(AdaptiveObserve, RejectsInvalidSamples) {
+  RangeEstimator est(small_options());
+  EXPECT_THROW(est.observe(-1.0), ConfigError);
+  EXPECT_THROW(est.observe(std::numeric_limits<double>::infinity()),
+               ConfigError);
+  EXPECT_NO_THROW(est.observe(0.0));
+}
+
+// ------------------------------------------------------------------ warm-up
+
+TEST(AdaptiveWarmup, FallbackBeforeMinSamples) {
+  RangeEstimator est(small_options());
+  EXPECT_FALSE(est.warmed_up());
+  EXPECT_DOUBLE_EQ(est.delta_bound(), 100.0);
+  Rng rng(1);
+  for (int i = 0; i < 63; ++i) est.observe(rng.uniform(5.0, 10.0));
+  EXPECT_FALSE(est.warmed_up());
+  EXPECT_DOUBLE_EQ(est.delta_bound(), 100.0);
+  est.observe(7.0);
+  EXPECT_TRUE(est.warmed_up());
+  EXPECT_NE(est.delta_bound(), 100.0);  // fitted bound replaces the fallback
+}
+
+TEST(AdaptiveWarmup, ConstantFeedKeepsConservativeBound) {
+  RangeEstimator est(small_options());
+  for (int i = 0; i < 200; ++i) est.observe(25.0);
+  // Degenerate window: bound must still cover the observed value.
+  EXPECT_GE(est.delta_bound(), 25.0);
+  EXPECT_FALSE(est.fitted_family().has_value());
+}
+
+// ------------------------------------------------------------ tail quantile
+
+TEST(AdaptiveTail, MatchesFrechetClosedForm) {
+  const stats::Frechet f(4.41, 29.3);
+  const double lambda = 20.0;
+  const double p = 1.0 - std::exp2(-lambda);
+  const double expected = f.quantile(p);
+  EXPECT_NEAR(tail_quantile(f, lambda), expected, 1e-6 * expected);
+}
+
+TEST(AdaptiveTail, MatchesGumbelClosedForm) {
+  const stats::Gumbel g(10.0, 3.0);
+  const double lambda = 30.0;
+  const double p = 1.0 - std::exp2(-lambda);
+  const double expected = g.quantile(p);
+  EXPECT_NEAR(tail_quantile(g, lambda), expected, 1e-6 * expected);
+}
+
+TEST(AdaptiveTail, MonotoneInLambda) {
+  const stats::Frechet f(3.0, 10.0);
+  double prev = 0.0;
+  for (double lambda : {5.0, 10.0, 20.0, 30.0}) {
+    const double q = tail_quantile(f, lambda);
+    EXPECT_GT(q, prev);
+    prev = q;
+  }
+}
+
+// ----------------------------------------------------------- family & bound
+
+class AdaptiveFit : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdaptiveFit, FrechetFeedSelectsFrechetAndCovers) {
+  Rng rng(GetParam());
+  const stats::Frechet truth(4.41, 29.3);  // paper's BTC range fit
+  RangeEstimator est(small_options());
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = truth.sample(rng);
+    samples.push_back(d);
+    est.observe(d);
+  }
+  ASSERT_TRUE(est.fitted_family().has_value());
+  EXPECT_EQ(*est.fitted_family(), "Frechet");
+  EXPECT_LT(*est.fitted_ks(), 0.05);
+  // Bound covers everything seen and is not absurdly loose.
+  const double max_seen = *std::max_element(samples.begin(), samples.end());
+  EXPECT_GE(est.delta_bound(), max_seen);
+  EXPECT_LT(est.delta_bound(), 100.0 * max_seen);
+}
+
+TEST_P(AdaptiveFit, GumbelFeedSelectsGumbelAndCovers) {
+  Rng rng(GetParam() + 100);
+  const stats::Gumbel truth(12.0, 2.5);
+  RangeEstimator est(small_options());
+  double max_seen = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double d = std::max(0.0, truth.sample(rng));
+    max_seen = std::max(max_seen, d);
+    est.observe(d);
+  }
+  ASSERT_TRUE(est.fitted_family().has_value());
+  EXPECT_EQ(*est.fitted_family(), "Gumbel");
+  EXPECT_GE(est.delta_bound(), max_seen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptiveFit,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(AdaptiveCap, MaxDeltaCapsTheBoundButCoversObservations) {
+  auto opt = small_options();
+  opt.max_delta = 40.0;
+  RangeEstimator est(opt);
+  Rng rng(17);
+  const stats::Frechet heavy(1.2, 10.0);  // fat tail: uncapped bound is huge
+  double max_seen = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double d = heavy.sample(rng);
+    max_seen = std::max(max_seen, d);
+    est.observe(d);
+  }
+  // Capped at max_delta unless the data itself already exceeded it.
+  EXPECT_LE(est.delta_bound(), std::max(40.0, max_seen) + 1e-9);
+  EXPECT_GE(est.delta_bound(), max_seen);
+}
+
+TEST(AdaptiveDrift, WindowTracksRegimeChange) {
+  auto opt = small_options();
+  opt.window = 512;
+  opt.refit_interval = 64;
+  RangeEstimator est(opt);
+  Rng rng(9);
+  const stats::Gumbel calm(5.0, 0.5);
+  const stats::Gumbel volatile_regime(50.0, 5.0);
+  for (int i = 0; i < 600; ++i) est.observe(std::max(0.0, calm.sample(rng)));
+  const double calm_bound = est.delta_bound();
+  for (int i = 0; i < 600; ++i) {
+    est.observe(std::max(0.0, volatile_regime.sample(rng)));
+  }
+  const double volatile_bound = est.delta_bound();
+  EXPECT_GT(volatile_bound, 3.0 * calm_bound);
+  EXPECT_EQ(est.count(), opt.window);
+}
+
+// ------------------------------------------------------------------- params
+
+TEST(AdaptiveParams, MakeParamsIsValidAndUsesBound) {
+  RangeEstimator est(small_options());
+  Rng rng(5);
+  const stats::Gumbel truth(20.0, 2.0);
+  for (int i = 0; i < 500; ++i) est.observe(std::max(0.0, truth.sample(rng)));
+  const auto p = est.make_params(0.0, 100000.0, /*rho0=*/2.0, /*eps=*/2.0);
+  EXPECT_DOUBLE_EQ(p.rho0, 2.0);
+  EXPECT_DOUBLE_EQ(p.eps, 2.0);
+  EXPECT_DOUBLE_EQ(p.delta_max, est.delta_bound());
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_GE(p.num_levels(), 1u);
+}
+
+TEST(AdaptiveParams, DeltaClampedToRho0) {
+  auto opt = small_options();
+  opt.fallback_delta = 0.001;  // below rho0
+  RangeEstimator est(opt);
+  const auto p = est.make_params(0.0, 10.0, /*rho0=*/1.0, /*eps=*/1.0);
+  EXPECT_GE(p.delta_max, 1.0);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(AdaptiveParams, SafetyFactorScalesBound) {
+  auto opt1 = small_options();
+  auto opt2 = small_options();
+  opt2.safety_factor = 2.0;
+  RangeEstimator a(opt1), b(opt2);
+  Rng r1(7), r2(7);
+  const stats::Gumbel truth(30.0, 3.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double d1 = std::max(0.0, truth.sample(r1));
+    const double d2 = std::max(0.0, truth.sample(r2));
+    a.observe(d1);
+    b.observe(d2);
+  }
+  EXPECT_GT(b.delta_bound(), a.delta_bound() * 1.5);
+}
+
+}  // namespace
+}  // namespace delphi::adaptive

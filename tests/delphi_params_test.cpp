@@ -1,0 +1,141 @@
+/// Tests for Delphi's parameter derivation (Algorithm 2 setup + §IV-D).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delphi/params.hpp"
+
+namespace delphi::protocol {
+namespace {
+
+DelphiParams base_params() {
+  DelphiParams p;
+  p.space_min = 0.0;
+  p.space_max = 1000.0;
+  p.rho0 = 1.0;
+  p.eps = 1.0;
+  p.delta_max = 64.0;
+  return p;
+}
+
+TEST(DelphiParams, LevelCountFromDeltaOverRho) {
+  DelphiParams p = base_params();
+  EXPECT_EQ(p.max_level(), 6u);  // log2(64/1)
+  EXPECT_EQ(p.num_levels(), 7u);
+  p.delta_max = 100.0;
+  EXPECT_EQ(p.max_level(), 7u);  // ceil(log2(100))
+  p.delta_max = 1.0;
+  EXPECT_EQ(p.max_level(), 0u);
+  EXPECT_EQ(p.num_levels(), 1u);
+}
+
+TEST(DelphiParams, RhoDoublesPerLevel) {
+  const DelphiParams p = base_params();
+  for (std::uint32_t l = 0; l <= p.max_level(); ++l) {
+    EXPECT_DOUBLE_EQ(p.rho(l), std::ldexp(1.0, static_cast<int>(l)));
+  }
+}
+
+TEST(DelphiParams, EpsPrimeFormula) {
+  const DelphiParams p = base_params();
+  // eps' = eps / (4 * Delta * l_M * n).
+  EXPECT_DOUBLE_EQ(p.eps_prime(16), 1.0 / (4.0 * 64.0 * 6.0 * 16.0));
+  // r_max = ceil(log2(1/eps')).
+  EXPECT_EQ(p.r_max(16),
+            static_cast<std::uint32_t>(
+                std::ceil(std::log2(4.0 * 64.0 * 6.0 * 16.0))));
+}
+
+TEST(DelphiParams, RMaxGrowsWithNAndDelta) {
+  DelphiParams p = base_params();
+  EXPECT_GT(p.r_max(160), p.r_max(4));
+  const auto r_small_delta = p.r_max(16);
+  p.delta_max = 512.0;
+  EXPECT_GT(p.r_max(16), r_small_delta);
+}
+
+TEST(DelphiParams, CheckpointBounds) {
+  const DelphiParams p = base_params();
+  EXPECT_EQ(p.k_min(0), 0);
+  EXPECT_EQ(p.k_max(0), 1000);
+  EXPECT_EQ(p.k_min(6), 0);
+  EXPECT_EQ(p.k_max(6), 15);  // floor(1000/64)
+  EXPECT_DOUBLE_EQ(p.checkpoint(6, 3), 192.0);
+}
+
+TEST(DelphiParams, NegativeSpaceCheckpoints) {
+  DelphiParams p = base_params();
+  p.space_min = -500.0;
+  EXPECT_EQ(p.k_min(0), -500);
+  EXPECT_LT(p.checkpoint(0, p.k_min(0)), 0.0);
+}
+
+TEST(DelphiParams, ClosestCheckpointsBracketTheInput) {
+  const DelphiParams p = base_params();
+  for (double v : {0.0, 0.4, 17.5, 999.7, 1000.0}) {
+    for (std::uint32_t l = 0; l <= p.max_level(); ++l) {
+      const auto [lo, hi] = p.closest_checkpoints(l, v);
+      EXPECT_LE(p.checkpoint(l, lo), v + p.rho(l));
+      EXPECT_GE(p.checkpoint(l, hi), v - p.rho(l));
+      EXPECT_LE(hi - lo, 1);
+      // Both inside the space.
+      EXPECT_GE(lo, p.k_min(l));
+      EXPECT_LE(hi, p.k_max(l));
+    }
+  }
+}
+
+TEST(DelphiParams, ValidationCatchesBadConfigs) {
+  DelphiParams p = base_params();
+  p.eps = 0.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_params();
+  p.rho0 = -1.0;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_params();
+  p.delta_max = 0.5;  // < rho0
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_params();
+  p.space_max = p.space_min;
+  EXPECT_THROW(p.validate(), ConfigError);
+  p = base_params();
+  p.delta_max = 5000.0;  // exceeds the space
+  EXPECT_THROW(p.validate(), ConfigError);
+}
+
+TEST(DelphiParams, PaperConfigsValidate) {
+  const auto oracle = DelphiParams::oracle_network();
+  EXPECT_DOUBLE_EQ(oracle.eps, 2.0);
+  EXPECT_DOUBLE_EQ(oracle.delta_max, 2000.0);
+  EXPECT_EQ(oracle.max_level(), 10u);  // log2(1000)
+
+  const auto cps = DelphiParams::drone_cps();
+  EXPECT_DOUBLE_EQ(cps.eps, 0.5);
+  EXPECT_DOUBLE_EQ(cps.delta_max, 50.0);
+  EXPECT_EQ(cps.max_level(), 7u);  // ceil(log2(100))
+}
+
+TEST(DelphiParams, FromDistributionUsesEvtBound) {
+  stats::Normal noise(100.0, 2.0);
+  const auto p = DelphiParams::from_distribution(noise, 64, 30.0, 0.5, 0.0,
+                                                 1000.0);
+  // Thin tail: Delta should be tens of units at most, not the whole space.
+  EXPECT_GT(p.delta_max, 2.0);
+  EXPECT_LT(p.delta_max, 200.0);
+  EXPECT_DOUBLE_EQ(p.rho0, 0.5);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(DelphiParams, FromDistributionFatterTailGivesBiggerDelta) {
+  stats::Normal thin(0.0, 1.0);
+  stats::Frechet fat(2.5, 1.0);
+  const auto pt = DelphiParams::from_distribution(thin, 64, 20.0, 0.5,
+                                                  -10000.0, 10000.0);
+  const auto pf = DelphiParams::from_distribution(fat, 64, 20.0, 0.5,
+                                                  -10000.0, 10000.0);
+  EXPECT_GT(pf.delta_max, pt.delta_max);
+}
+
+}  // namespace
+}  // namespace delphi::protocol

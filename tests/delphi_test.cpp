@@ -1,0 +1,395 @@
+/// Tests for the Delphi protocol (Algorithm 2): termination, eps-agreement,
+/// relaxed validity (Theorem IV.3), the level-weight mechanics (Lemma IV.2 /
+/// Theorem IV.1), bundled-communication behaviour, and Byzantine resistance
+/// (crash, garbage, value poisoning, checkpoint spam).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "delphi/delphi.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/harness.hpp"
+#include "tests/test_util.hpp"
+
+namespace delphi::protocol {
+namespace {
+
+DelphiParams small_params(double delta_max = 64.0) {
+  DelphiParams p;
+  p.space_min = 0.0;
+  p.space_max = 1000.0;
+  p.rho0 = 1.0;
+  p.eps = 1.0;
+  p.delta_max = delta_max;
+  return p;
+}
+
+DelphiProtocol::Config proto_cfg(std::size_t n, const DelphiParams& p) {
+  DelphiProtocol::Config c;
+  c.n = n;
+  c.t = max_faults(n);
+  c.params = p;
+  return c;
+}
+
+/// Check the paper's guarantees over the honest inputs/outputs.
+void expect_guarantees(const std::vector<double>& inputs,
+                       const std::vector<double>& outputs,
+                       const DelphiParams& p, const std::string& tag) {
+  ASSERT_FALSE(outputs.empty()) << tag;
+  const auto [mn_it, mx_it] = std::minmax_element(inputs.begin(), inputs.end());
+  const double delta = *mx_it - *mn_it;
+  const double relax = std::max(p.rho0, delta);
+  // eps-agreement (Theorem IV.4).
+  EXPECT_LE(test::spread(outputs), p.eps) << tag;
+  // Relaxed min-max validity (Theorem IV.3).
+  for (double o : outputs) {
+    EXPECT_GE(o, *mn_it - relax - 1e-9) << tag;
+    EXPECT_LE(o, *mx_it + relax + 1e-9) << tag;
+  }
+}
+
+struct DelphiCase {
+  std::size_t n;
+  std::uint64_t seed;
+  double center;
+  double spread;  // honest inputs uniform in [center - spread/2, ...]
+};
+
+class DelphiSweep : public ::testing::TestWithParam<DelphiCase> {};
+
+TEST_P(DelphiSweep, TerminationAgreementValidity) {
+  const auto [n, seed, center, input_spread] = GetParam();
+  const DelphiParams p = small_params();
+  std::vector<double> inputs(n);
+  Rng rng(seed);
+  for (auto& v : inputs) {
+    v = center + rng.uniform(-input_spread / 2, input_spread / 2);
+  }
+  auto outcome = sim::run_nodes(
+      test::adversarial_config(n, seed), [&](NodeId i) {
+        return std::make_unique<DelphiProtocol>(proto_cfg(n, p), inputs[i]);
+      });
+  ASSERT_TRUE(outcome.all_honest_terminated);
+  ASSERT_EQ(outcome.honest_outputs.size(), n);
+  expect_guarantees(inputs, outcome.honest_outputs, p,
+                    "n=" + std::to_string(n) + " seed=" + std::to_string(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, DelphiSweep,
+    ::testing::Values(
+        DelphiCase{4, 1, 500.0, 0.5},    // tightly clustered
+        DelphiCase{4, 2, 500.0, 8.0},    // spread over several checkpoints
+        DelphiCase{4, 3, 500.0, 50.0},   // near Delta
+        DelphiCase{7, 4, 100.0, 3.0},
+        DelphiCase{7, 5, 100.0, 30.0},
+        DelphiCase{7, 6, 997.0, 2.0},    // at the space edge
+        DelphiCase{7, 7, 2.0, 3.0},      // at the lower edge
+        DelphiCase{10, 8, 700.0, 10.0},
+        DelphiCase{13, 9, 300.0, 20.0},
+        DelphiCase{16, 10, 450.0, 5.0}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed) + "_w" +
+             std::to_string(static_cast<int>(info.param.spread));
+    });
+
+TEST(Delphi, IdenticalInputsStayWithinRho0) {
+  const DelphiParams p = small_params();
+  auto outcome = sim::run_nodes(
+      test::adversarial_config(7, 33), [&](NodeId) {
+        return std::make_unique<DelphiProtocol>(proto_cfg(7, p), 250.0);
+      });
+  ASSERT_TRUE(outcome.all_honest_terminated);
+  for (double o : outcome.honest_outputs) {
+    EXPECT_NEAR(o, 250.0, p.rho0 + 1e-9);
+  }
+  EXPECT_LE(test::spread(outcome.honest_outputs), p.eps);
+}
+
+TEST(Delphi, InputOnACheckpointIsReproducedExactly) {
+  // All honest on checkpoint 500 (a multiple of every rho_l): the weighted
+  // average should come out at exactly 500 (weight 1 at that checkpoint).
+  const DelphiParams p = small_params(/*delta_max=*/8.0);
+  auto outcome = sim::run_nodes(
+      test::async_config(4, 3), [&](NodeId) {
+        return std::make_unique<DelphiProtocol>(proto_cfg(4, p), 500.0);
+      });
+  ASSERT_TRUE(outcome.all_honest_terminated);
+  for (double o : outcome.honest_outputs) EXPECT_NEAR(o, 500.0, p.rho0);
+}
+
+TEST(Delphi, LevelWeightsSumAtLeastHalf) {
+  // Theorem IV.1: sum of w'_l >= 1/2 whenever delta <= Delta.
+  const DelphiParams p = small_params();
+  sim::Simulator sim(test::async_config(7, 44));
+  Rng rng(44);
+  std::vector<double> inputs(7);
+  for (auto& v : inputs) v = 400.0 + rng.uniform(0.0, 20.0);
+  for (NodeId i = 0; i < 7; ++i) {
+    sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(7, p), inputs[i]));
+  }
+  ASSERT_TRUE(sim.run());
+  for (NodeId i = 0; i < 7; ++i) {
+    const auto& reports = sim.node_as<DelphiProtocol>(i).level_reports();
+    double sum = 0.0;
+    for (const auto& r : reports) sum += r.weight_prime;
+    EXPECT_GE(sum, 0.5);
+  }
+}
+
+TEST(Delphi, HighLevelsCarryNoWeightWhenInputsAreTight) {
+  // Lemma IV.2: for l > ceil(log2(delta/rho0)), w'_l = 0 — the
+  // differentiation trick kills coarse levels.
+  const DelphiParams p = small_params();
+  sim::Simulator sim(test::async_config(7, 45));
+  // All inputs within delta = 2 => phi = 1; levels >= 3 must have w' ~ 0.
+  std::vector<double> inputs = {600.0, 600.5, 601.0, 601.5,
+                                600.2, 600.9, 601.3};
+  for (NodeId i = 0; i < 7; ++i) {
+    sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(7, p), inputs[i]));
+  }
+  ASSERT_TRUE(sim.run());
+  const double eps_prime = p.eps_prime(7);
+  for (NodeId i = 0; i < 7; ++i) {
+    const auto& reports = sim.node_as<DelphiProtocol>(i).level_reports();
+    for (std::size_t l = 3; l < reports.size(); ++l) {
+      EXPECT_LE(reports[l].weight_prime, 5 * eps_prime)
+          << "node " << i << " level " << l;
+    }
+  }
+}
+
+TEST(Delphi, ActiveInstancesStayNearHonestRange) {
+  // Communication efficiency hinges on only O(delta/rho_l + const)
+  // checkpoints materializing per level.
+  const DelphiParams p = small_params();
+  sim::Simulator sim(test::async_config(7, 46));
+  std::vector<double> inputs = {500.0, 501.0, 502.0, 503.0,
+                                504.0, 505.0, 506.0};
+  for (NodeId i = 0; i < 7; ++i) {
+    sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(7, p), inputs[i]));
+  }
+  ASSERT_TRUE(sim.run());
+  for (NodeId i = 0; i < 7; ++i) {
+    const auto& node = sim.node_as<DelphiProtocol>(i);
+    for (std::uint32_t l = 0; l < p.num_levels(); ++l) {
+      const double width = 6.0 / p.rho(l);  // delta / rho_l
+      EXPECT_LE(node.active_instances(l),
+                static_cast<std::size_t>(width) + 4)
+          << "level " << l;
+    }
+  }
+}
+
+TEST(Delphi, ToleratesCrashFaults) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::size_t n = 7;
+    const DelphiParams p = small_params();
+    const auto byz = sim::last_t_byzantine(n, max_faults(n));
+    std::vector<double> inputs(n);
+    Rng rng(seed + 100);
+    for (auto& v : inputs) v = 300.0 + rng.uniform(0.0, 10.0);
+
+    sim::Simulator sim(test::adversarial_config(n, seed));
+    for (NodeId i = 0; i < n; ++i) {
+      if (byz.contains(i)) {
+        sim.add_node(std::make_unique<sim::SilentProtocol>());
+      } else {
+        sim.add_node(
+            std::make_unique<DelphiProtocol>(proto_cfg(n, p), inputs[i]));
+      }
+    }
+    sim.set_byzantine(byz);
+    ASSERT_TRUE(sim.run()) << "seed " << seed;
+
+    std::vector<double> honest_inputs, outputs;
+    for (NodeId i = 0; i < n; ++i) {
+      if (byz.contains(i)) continue;
+      honest_inputs.push_back(inputs[i]);
+      outputs.push_back(*sim.node_as<DelphiProtocol>(i).output_value());
+    }
+    expect_guarantees(honest_inputs, outputs, p,
+                      "crash seed=" + std::to_string(seed));
+  }
+}
+
+TEST(Delphi, ToleratesGarbageSprayers) {
+  const std::size_t n = 7;
+  const DelphiParams p = small_params();
+  sim::Simulator sim(test::async_config(n, 51));
+  std::vector<double> inputs = {800.0, 800.4, 800.9, 801.3, 801.8};
+  for (NodeId i = 0; i + 2 < n; ++i) {
+    sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(n, p), inputs[i]));
+  }
+  sim.add_node(std::make_unique<sim::GarbageSprayProtocol>());
+  sim.add_node(std::make_unique<sim::GarbageSprayProtocol>());
+  sim.set_byzantine({5, 6});
+  ASSERT_TRUE(sim.run());
+  std::vector<double> outputs;
+  for (NodeId i = 0; i + 2 < n; ++i) {
+    outputs.push_back(*sim.node_as<DelphiProtocol>(i).output_value());
+  }
+  expect_guarantees(inputs, outputs, p, "garbage");
+}
+
+TEST(Delphi, ByzantineExtremeInputCannotDragOutput) {
+  // Byzantine nodes run the honest code with inputs far outside the honest
+  // cluster: no checkpoint near them can reach a positive weight, so the
+  // relaxed-validity interval around the *honest* inputs must still hold.
+  const std::size_t n = 7;
+  const DelphiParams p = small_params();
+  sim::Simulator sim(test::adversarial_config(n, 52));
+  std::vector<double> honest_inputs = {200.0, 200.5, 201.0, 201.5, 202.0};
+  for (NodeId i = 0; i + 2 < n; ++i) {
+    sim.add_node(
+        std::make_unique<DelphiProtocol>(proto_cfg(n, p), honest_inputs[i]));
+  }
+  sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(n, p), 950.0));
+  sim.add_node(std::make_unique<DelphiProtocol>(proto_cfg(n, p), 5.0));
+  sim.set_byzantine({5, 6});
+  ASSERT_TRUE(sim.run());
+  std::vector<double> outputs;
+  for (NodeId i = 0; i + 2 < n; ++i) {
+    outputs.push_back(*sim.node_as<DelphiProtocol>(i).output_value());
+  }
+  expect_guarantees(honest_inputs, outputs, p, "extreme-byz");
+}
+
+/// Byzantine node that spams explicit entries for hundreds of checkpoints.
+class CheckpointSpammer final : public net::Protocol {
+ public:
+  explicit CheckpointSpammer(std::uint32_t r_max) : r_max_(r_max) {}
+  void on_start(net::Context& ctx) override {
+    std::vector<ExplicitEcho> ex;
+    const binaa::ScaledValue scale = binaa::ScaledValue{1} << r_max_;
+    for (std::int64_t k = 0; k < 500; ++k) {
+      ex.push_back(ExplicitEcho{0, k * 2, 1, 1, scale});
+    }
+    ctx.broadcast(0, std::make_shared<DelphiBundle>(std::vector<DefaultEcho>{},
+                                                    std::move(ex)));
+  }
+  void on_message(net::Context&, NodeId, std::uint32_t,
+                  const net::MessageBody&) override {}
+  bool terminated() const override { return true; }
+
+ private:
+  std::uint32_t r_max_;
+};
+
+TEST(Delphi, CheckpointSpamIsBudgetBounded) {
+  const std::size_t n = 7;
+  const DelphiParams p = small_params();
+
+  auto run_with = [&](bool spam) {
+    sim::Simulator sim(test::async_config(n, 53));
+    std::vector<double> inputs = {400.0, 400.2, 400.4, 400.6, 400.8, 401.0};
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      sim.add_node(
+          std::make_unique<DelphiProtocol>(proto_cfg(n, p), inputs[i]));
+    }
+    if (spam) {
+      sim.add_node(std::make_unique<CheckpointSpammer>(
+          DelphiProtocol(proto_cfg(n, p), 400.0).r_max()));
+    } else {
+      sim.add_node(std::make_unique<sim::SilentProtocol>());
+    }
+    sim.set_byzantine({static_cast<NodeId>(n - 1)});
+    EXPECT_TRUE(sim.run());
+    std::uint64_t honest_bytes = 0;
+    std::vector<double> outputs;
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      honest_bytes += sim.node_metrics(i).bytes_sent;
+      outputs.push_back(*sim.node_as<DelphiProtocol>(i).output_value());
+    }
+    expect_guarantees(inputs, outputs, p, spam ? "spam" : "baseline");
+    return honest_bytes;
+  };
+
+  const auto baseline = run_with(false);
+  const auto spammed = run_with(true);
+  // The mention budget caps the blowup: well under the 500 instances the
+  // attacker requested (budget is ~132 at level 0 for Delta=64).
+  EXPECT_LT(spammed, baseline * 40);
+}
+
+TEST(Delphi, BundleCodecRoundTrip) {
+  std::vector<DefaultEcho> defs = {{0, 1, 1, 0}, {3, 2, 5, 0}};
+  std::vector<ExplicitEcho> exps = {{0, 500, 1, 1, 1024},
+                                    {2, -17, 2, 3, 0},
+                                    {6, 15, 1, 9, 4096}};
+  DelphiBundle bundle(defs, exps);
+  ByteWriter w;
+  bundle.serialize(w);
+  EXPECT_EQ(w.size(), bundle.wire_size());
+  ByteReader r(w.data());
+  auto d = DelphiBundle::decode(r);
+  EXPECT_TRUE(r.exhausted());
+  ASSERT_EQ(d->defaults().size(), 2u);
+  ASSERT_EQ(d->explicits().size(), 3u);
+  EXPECT_EQ(d->explicits()[1].k, -17);
+  EXPECT_EQ(d->explicits()[2].value, 4096);
+  EXPECT_EQ(d->defaults()[1].level, 3u);
+}
+
+TEST(Delphi, BundleDecodeRejectsOverflowCounts) {
+  ByteWriter w;
+  w.uvarint(1'000'000);  // claims a million defaults with no bytes
+  ByteReader r(w.data());
+  EXPECT_THROW(DelphiBundle::decode(r), Error);
+}
+
+TEST(Delphi, DeterministicAcrossRuns) {
+  const DelphiParams p = small_params();
+  auto run_once = [&]() {
+    auto outcome = sim::run_nodes(
+        test::adversarial_config(7, 99), [&](NodeId i) {
+          return std::make_unique<DelphiProtocol>(proto_cfg(7, p),
+                                                  100.0 + i * 0.75);
+        });
+    return std::make_pair(outcome.honest_outputs,
+                          outcome.metrics.total_bytes);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Delphi, InputOutsideSpaceRejected) {
+  const DelphiParams p = small_params();
+  EXPECT_THROW(DelphiProtocol(proto_cfg(4, p), -5.0), ConfigError);
+  EXPECT_THROW(DelphiProtocol(proto_cfg(4, p), 1e9), ConfigError);
+}
+
+TEST(Delphi, WorksWithNegativeInputSpace) {
+  DelphiParams p = small_params();
+  p.space_min = -1000.0;
+  p.space_max = 0.0;
+  auto outcome = sim::run_nodes(
+      test::async_config(4, 7), [&](NodeId i) {
+        return std::make_unique<DelphiProtocol>(proto_cfg(4, p),
+                                                -330.0 - i * 0.5);
+      });
+  ASSERT_TRUE(outcome.all_honest_terminated);
+  std::vector<double> inputs = {-330.0, -330.5, -331.0, -331.5};
+  expect_guarantees(inputs, outcome.honest_outputs, p, "negative-space");
+}
+
+TEST(Delphi, SingleLevelConfiguration) {
+  DelphiParams p = small_params(/*delta_max=*/1.0);  // l_M = 0
+  auto outcome = sim::run_nodes(
+      test::async_config(4, 8), [&](NodeId i) {
+        return std::make_unique<DelphiProtocol>(proto_cfg(4, p),
+                                                500.0 + i * 0.1);
+      });
+  ASSERT_TRUE(outcome.all_honest_terminated);
+  std::vector<double> inputs = {500.0, 500.1, 500.2, 500.3};
+  expect_guarantees(inputs, outcome.honest_outputs, p, "single-level");
+}
+
+}  // namespace
+}  // namespace delphi::protocol

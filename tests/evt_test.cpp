@@ -1,0 +1,141 @@
+/// Tests for the extreme-value machinery deriving Delphi's Delta parameter
+/// (paper §IV-D): analytic range bounds must cover empirically sampled
+/// ranges, scale as the paper claims, and the closed forms must track the
+/// generic numeric bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/evt.hpp"
+#include "stats/summary.hpp"
+
+namespace delphi::stats {
+namespace {
+
+TEST(Evt, SampleRangeIsNonNegativeAndGrowsWithN) {
+  Rng rng(21);
+  Normal d(0.0, 1.0);
+  double small = 0.0, large = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    small += sample_range(d, 4, rng);
+    large += sample_range(d, 160, rng);
+  }
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);  // wider cohorts have wider ranges
+}
+
+TEST(Evt, RangeBoundCoversEmpiricalRangesNormal) {
+  Rng rng(22);
+  Normal d(100.0, 5.0);
+  const double bound = range_bound(d, 64, /*lambda_bits=*/20.0);
+  // 2000 cohorts of 64: none should exceed a 2^-20 bound.
+  for (int trial = 0; trial < 2000; ++trial) {
+    EXPECT_LE(sample_range(d, 64, rng), bound);
+  }
+}
+
+TEST(Evt, RangeBoundCoversEmpiricalRangesGamma) {
+  Rng rng(23);
+  Gamma d(30.77, 0.18);  // the paper's CPS error distribution
+  const double bound = range_bound(d, 169, 20.0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    EXPECT_LE(sample_range(d, 169, rng), bound);
+  }
+}
+
+TEST(Evt, RangeBoundCoversEmpiricalRangesFrechet) {
+  Rng rng(24);
+  Frechet d(4.41, 29.3);  // the paper's oracle range distribution
+  const double bound = range_bound(d, 160, 20.0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    EXPECT_LE(sample_range(d, 160, rng), bound);
+  }
+}
+
+TEST(Evt, BoundMonotoneInLambda) {
+  Normal d(0.0, 1.0);
+  double prev = 0.0;
+  for (double lambda : {5.0, 10.0, 20.0, 30.0, 40.0}) {
+    const double b = range_bound(d, 64, lambda);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Evt, BoundMonotoneInN) {
+  Normal d(0.0, 1.0);
+  double prev = 0.0;
+  for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+    const double b = range_bound(d, n, 20.0);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Evt, ThinTailBoundGrowsLogarithmicallyInN) {
+  // Paper: Delta = O(lambda log n) for Normal/Gamma. Doubling n should add
+  // roughly a constant, not multiply — check the growth ratio shrinks.
+  Normal d(0.0, 1.0);
+  const double b1 = range_bound(d, 16, 30.0);
+  const double b2 = range_bound(d, 256, 30.0);
+  const double b3 = range_bound(d, 4096, 30.0);
+  EXPECT_LT(b3 - b2, 2.0 * (b2 - b1) + 1e-9);  // sub-linear increments
+  EXPECT_LT(b3, 2.0 * b1);                     // far from multiplicative
+}
+
+TEST(Evt, FatTailBoundGrowsPolynomiallyInN) {
+  // Paper: Delta = O(n^{1/alpha}) for Fréchet-domain tails.
+  Frechet d(2.0, 1.0);
+  const double b1 = range_bound(d, 16, 20.0);
+  const double b2 = range_bound(d, 16 * 16, 20.0);
+  // n^(1/2): multiplying n by 16 should multiply the bound by ~4.
+  EXPECT_GT(b2 / b1, 2.0);
+  EXPECT_LT(b2 / b1, 8.0);
+}
+
+TEST(Evt, ClosedFormNormalTracksGenericBound) {
+  Normal d(0.0, 2.0);
+  for (std::size_t n : {16u, 64u, 160u}) {
+    const double generic = range_bound(d, n, 30.0);
+    const double closed = range_bound_normal(2.0, n, 30.0);
+    // Same order of magnitude (the closed form is an asymptotic envelope).
+    EXPECT_GT(closed, 0.4 * generic);
+    EXPECT_LT(closed, 4.0 * generic);
+  }
+}
+
+TEST(Evt, ClosedFormFrechetTracksGenericBound) {
+  Frechet d(4.41, 29.3);
+  for (std::size_t n : {16u, 160u}) {
+    const double generic = range_bound(d, n, 20.0);
+    const double closed = range_bound_frechet(4.41, 29.3, n, 20.0);
+    EXPECT_GT(closed, 0.2 * generic);
+    EXPECT_LT(closed, 5.0 * generic);
+  }
+}
+
+TEST(Evt, PaperOracleCalibration) {
+  // §VI-A: the paper fits Fréchet(4.41, 29.3) to the *range* delta itself
+  // and derives Delta ≈ 2000$ at lambda ≈ 30 bits. Inverting that Fréchet
+  // tail (n = 1: the distribution already models the range, no maximum
+  // renormalization) must land in the same ballpark.
+  const double bound = range_bound_frechet(4.41, 29.3, 1, 30.0);
+  EXPECT_GT(bound, 1000.0);
+  EXPECT_LT(bound, 6000.0);
+}
+
+TEST(Evt, EmpiricalQuantileMatchesAnalyticTail) {
+  Rng rng(25);
+  Normal d(0.0, 1.0);
+  // The 99% empirical range quantile must sit below a 2^-10 analytic bound
+  // (which covers all but ~0.1%).
+  const double q99 = empirical_range_quantile(d, 64, 0.99, 3000, rng);
+  const double bound = range_bound(d, 64, 10.0);
+  EXPECT_LT(q99, bound);
+  // ...but the bound should not be absurdly loose either (< 3x the quantile).
+  EXPECT_LT(bound, 3.0 * q99);
+}
+
+}  // namespace
+}  // namespace delphi::stats

@@ -1,0 +1,207 @@
+/// Decoder robustness ("fuzz-lite") suite: every wire decoder in the repo is
+/// fed (a) random bytes, (b) truncated prefixes of valid encodings, and
+/// (c) bit-flipped valid encodings. The contract: decoders either return a
+/// well-formed message or throw SerializationError/ProtocolViolation — never
+/// crash, hang, or over-allocate. This is the property that lets honest
+/// nodes treat arbitrary Byzantine bytes safely.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "aba/aba.hpp"
+#include "abraham/abraham.hpp"
+#include "benor/benor.hpp"
+#include "binaa/message.hpp"
+#include "common/rng.hpp"
+#include "delphi/message.hpp"
+#include "dolev/dolev.hpp"
+#include "oracle/dora.hpp"
+#include "oracle/dora_baseline.hpp"
+#include "rbc/rbc.hpp"
+#include "transport/frame.hpp"
+
+namespace delphi {
+namespace {
+
+using Decoder = std::function<void(ByteReader&)>;
+
+struct DecoderCase {
+  const char* name;
+  Decoder decode;
+  std::vector<std::uint8_t> valid;  // one known-good encoding
+};
+
+std::vector<DecoderCase> all_decoders() {
+  std::vector<DecoderCase> cases;
+
+  {
+    rbc::RbcMessage m(rbc::RbcMessage::Kind::kEcho, {1, 2, 3});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"rbc", [](ByteReader& r) { rbc::RbcMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    aba::AbaMessage m(aba::AbaMessage::Kind::kAux, 3, true);
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"aba", [](ByteReader& r) { aba::AbaMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    binaa::EchoMessage m(1, 5, 12345);
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"binaa",
+                     [](ByteReader& r) { binaa::EchoMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    protocol::DelphiBundle m({{0, 1, 1, 0}}, {{1, 7, 2, 3, 64}});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"delphi_bundle",
+                     [](ByteReader& r) { protocol::DelphiBundle::decode(r); },
+                     w.take()});
+  }
+  {
+    abraham::WitnessMessage m(2, {0, 1, 3});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"witness",
+                     [](ByteReader& r) { abraham::WitnessMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    oracle::AttestMessage m(99, crypto::Digest{});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"attest",
+                     [](ByteReader& r) { oracle::AttestMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    oracle::SignedValueMessage m(1.5, crypto::Digest{});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back(
+        {"dora_signed",
+         [](ByteReader& r) { oracle::SignedValueMessage::decode(r); },
+         w.take()});
+  }
+  {
+    oracle::ValueListMessage m({{0, 1.0, crypto::Digest{}}});
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back(
+        {"dora_list",
+         [](ByteReader& r) { oracle::ValueListMessage::decode(r); },
+         w.take()});
+  }
+  {
+    dolev::RoundValueMessage m(4, 2.25);
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back(
+        {"dolev",
+         [](ByteReader& r) { dolev::RoundValueMessage::decode(r); },
+         w.take()});
+  }
+  {
+    benor::BenOrMessage m(benor::BenOrMessage::Kind::kPropose, 9,
+                          benor::kBottom);
+    ByteWriter w;
+    m.serialize(w);
+    cases.push_back({"benor",
+                     [](ByteReader& r) { benor::BenOrMessage::decode(r); },
+                     w.take()});
+  }
+  {
+    // The TCP frame parser as a "decoder": consume one whole stream. A
+    // static key keeps the lambda capture-free like the other cases.
+    static const crypto::Key key = [] {
+      crypto::Key k{};
+      k.fill(0x5A);
+      return k;
+    }();
+    const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+    cases.push_back({"tcp_frame",
+                     [](ByteReader& r) {
+                       transport::FrameParser p(&key);
+                       p.feed(r.raw(r.remaining()));
+                       while (p.next().has_value()) {
+                       }
+                     },
+                     transport::encode_frame(3, payload, &key)});
+  }
+  return cases;
+}
+
+/// Run a decoder over input; pass iff it returns or throws a project error.
+void expect_graceful(const DecoderCase& c,
+                     const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  try {
+    c.decode(r);
+  } catch (const Error&) {
+    // SerializationError / ProtocolViolation: the defined failure mode.
+  }
+  // Anything else (std::bad_alloc, segfault, infinite loop) fails the test
+  // by crashing or timing out.
+}
+
+TEST(FuzzDecode, RandomBytes) {
+  Rng rng(0xF022);
+  for (const auto& c : all_decoders()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::vector<std::uint8_t> junk(rng.below(96));
+      for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+      expect_graceful(c, junk);
+    }
+  }
+}
+
+TEST(FuzzDecode, TruncatedPrefixes) {
+  for (const auto& c : all_decoders()) {
+    for (std::size_t len = 0; len < c.valid.size(); ++len) {
+      std::vector<std::uint8_t> prefix(c.valid.begin(),
+                                       c.valid.begin() + len);
+      expect_graceful(c, prefix);
+    }
+  }
+}
+
+TEST(FuzzDecode, SingleBitFlips) {
+  for (const auto& c : all_decoders()) {
+    for (std::size_t byte = 0; byte < c.valid.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        auto mutated = c.valid;
+        mutated[byte] ^= static_cast<std::uint8_t>(1 << bit);
+        expect_graceful(c, mutated);
+      }
+    }
+  }
+}
+
+TEST(FuzzDecode, HugeClaimedCountsDontAllocate) {
+  // Length fields claiming astronomical sizes must be rejected before any
+  // allocation (each decoder validates counts against remaining bytes).
+  for (const auto& c : all_decoders()) {
+    ByteWriter w;
+    w.uvarint((1ULL << 50));
+    w.u8(0);
+    expect_graceful(c, w.data());
+  }
+}
+
+TEST(FuzzDecode, ValidEncodingsStillDecodeAfterSuite) {
+  // Sanity: the canonical encodings do decode (the suite isn't vacuous).
+  for (const auto& c : all_decoders()) {
+    ByteReader r(c.valid);
+    EXPECT_NO_THROW(c.decode(r)) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace delphi

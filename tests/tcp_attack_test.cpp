@@ -1,0 +1,144 @@
+/// Active-attacker tests against a live TCP cluster: keyless sockets racing
+/// the mesh bring-up with garbage hellos, forged node-id claims, and junk
+/// frames. The authenticated hello (pairwise HMAC) must keep every
+/// legitimate link intact and the protocol run unaffected.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "dolev/dolev.hpp"
+#include "transport/decoders.hpp"
+#include "transport/tcp.hpp"
+#include "tests/test_util.hpp"
+
+namespace delphi::transport {
+namespace {
+
+/// Fire-and-forget raw bytes at 127.0.0.1:port (connect failures ignored —
+/// the attacker may lose the race entirely, which is also a pass).
+void poke(std::uint16_t port, const std::vector<std::uint8_t>& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    (void)!::write(fd, bytes.data(), bytes.size());
+    // Linger briefly so the victim actually reads the bytes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::close(fd);
+}
+
+std::vector<std::uint8_t> forged_hello(NodeId claimed_id, bool with_tag) {
+  ByteWriter w;
+  w.u32(0x44504849);  // correct magic
+  w.u32(claimed_id);
+  if (with_tag) {
+    // An attacker without the pairwise key can only guess the tag.
+    for (std::size_t i = 0; i < crypto::kMacTagSize; ++i) w.u8(0x99);
+  }
+  return w.take();
+}
+
+TEST(TcpAttack, ClusterSurvivesHelloForgeryAndGarbage) {
+  const std::size_t n = 6;
+  dolev::DolevProtocol::Config cfg;
+  cfg.n = n;
+  cfg.t = 1;
+  cfg.rounds = 6;
+  std::vector<double> inputs = {10.0, 11.0, 12.0, 13.0, 14.0, 15.0};
+
+  TcpCluster::Options opts;
+  opts.n = n;
+  opts.auth = true;
+  opts.timeout_ms = 30'000;
+  TcpCluster cluster(opts);
+  cluster.start(
+      [&](NodeId i) {
+        return std::make_unique<dolev::DolevProtocol>(cfg, inputs[i]);
+      },
+      decoders::dolev());
+
+  // Race the bring-up: against every node, claim the highest id with a
+  // forged tag, claim an out-of-range id, and send plain garbage.
+  std::vector<std::thread> attackers;
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint16_t port = cluster.port(i);
+    attackers.emplace_back([port] {
+      poke(port, forged_hello(5, /*with_tag=*/true));
+      poke(port, forged_hello(99, /*with_tag=*/true));
+      poke(port, {0xFF, 0xFF, 0xFF, 0xFF, 0x00, 0x01, 0x02, 0x03});
+    });
+  }
+  for (auto& t : attackers) t.join();
+
+  ASSERT_TRUE(cluster.wait());
+  std::vector<double> outputs;
+  for (NodeId i = 0; i < n; ++i) {
+    const auto& p =
+        dynamic_cast<const dolev::DolevProtocol&>(cluster.protocol(i));
+    ASSERT_TRUE(p.output_value().has_value());
+    outputs.push_back(*p.output_value());
+  }
+  // Strict convex validity despite the attack: the attacker never obtained
+  // a link, so the honest run is untouched.
+  for (double o : outputs) {
+    EXPECT_GE(o, 10.0);
+    EXPECT_LE(o, 15.0);
+  }
+  EXPECT_LE(test::spread(outputs), 5.0 / 64.0 + 1e-12);
+}
+
+TEST(TcpAttack, SlowLorisHelloDoesNotBlockTheMesh) {
+  // An attacker that connects and sends *half* a hello, then stalls: the
+  // accept loop must keep servicing genuine peers around it.
+  const std::size_t kStalledConns = 4;
+  dolev::DolevProtocol::Config cfg;
+  cfg.n = 6;
+  cfg.t = 1;
+  cfg.rounds = 3;
+
+  TcpCluster::Options opts;
+  opts.n = 6;
+  opts.auth = true;
+  opts.timeout_ms = 30'000;
+  TcpCluster cluster(opts);
+  cluster.start(
+      [&](NodeId i) {
+        return std::make_unique<dolev::DolevProtocol>(cfg, 100.0 + i);
+      },
+      decoders::dolev());
+
+  std::vector<int> stalled;
+  for (NodeId i = 0; i < kStalledConns; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) continue;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cluster.port(i));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      const std::uint8_t half[4] = {0x49, 0x48, 0x50, 0x44};
+      (void)!::write(fd, half, sizeof(half));
+      stalled.push_back(fd);  // never completed; held open
+    } else {
+      ::close(fd);
+    }
+  }
+
+  EXPECT_TRUE(cluster.wait());
+  for (int fd : stalled) ::close(fd);
+}
+
+}  // namespace
+}  // namespace delphi::transport

@@ -1,0 +1,295 @@
+/// delphi_cli — run any protocol / testbed / workload combination from the
+/// command line and get text or CSV results; derive Delphi parameters from a
+/// noise model via the EVT toolkit. The "I want one number without writing a
+/// bench binary" tool.
+///
+///   delphi_cli run    --protocol delphi --testbed aws --n 64 --delta 20
+///                     [--center 40000] [--rho0 10] [--eps 2]
+///                     [--delta-max 2000] [--seed 1] [--crashes 0] [--csv]
+///   delphi_cli sweep  same flags, --n taking a comma list: --n 16,64,112
+///   delphi_cli params --dist frechet --alpha 4.41 --scale 29.3 --n 160
+///                     [--lambda 30]
+///
+/// Protocols: delphi | abraham | dolev | fin. Testbeds: aws | cps.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "sim/byzantine.hpp"
+#include "stats/evt.hpp"
+
+using namespace delphi;
+using namespace delphi::bench;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr, R"(usage:
+  delphi_cli run   --protocol delphi|abraham|dolev|fin --testbed aws|cps
+                   --n N [--delta D] [--center C] [--seed S] [--crashes K]
+                   [--rho0 R] [--eps E] [--delta-max DM] [--rounds R] [--csv]
+  delphi_cli sweep  same flags; --n accepts a comma list (e.g. --n 16,64,112)
+  delphi_cli params --dist normal|gamma|frechet|gumbel --n N [--lambda L]
+                   [--mu M] [--sigma S] [--alpha A] [--scale SC] [--shape SH]
+)");
+  std::exit(2);
+}
+
+/// --key value flag map; validates that every flag is consumed.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
+      key = key.substr(2);
+      if (key == "csv") {
+        values_[key] = "1";
+        continue;
+      }
+      if (i + 1 >= argc) usage(("missing value for --" + key).c_str());
+      values_[key] = argv[++i];
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& dflt) {
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  double num(const std::string& key, double dflt) {
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      usage(("--" + key + " expects a number").c_str());
+    }
+    return v;
+  }
+
+  bool flag(const std::string& key) {
+    consumed_.insert(key);
+    return values_.contains(key);
+  }
+
+  /// Comma-separated size list.
+  std::vector<std::size_t> sizes(const std::string& key) {
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) usage(("--" + key + " is required").c_str());
+    std::vector<std::size_t> out;
+    std::stringstream ss(it->second);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v < 1) usage(("bad --" + key + " entry: " + tok).c_str());
+      out.push_back(static_cast<std::size_t>(v));
+    }
+    if (out.empty()) usage(("--" + key + " is empty").c_str());
+    return out;
+  }
+
+  void reject_unknown() const {
+    for (const auto& [k, v] : values_) {
+      if (!consumed_.contains(k)) usage(("unknown flag --" + k).c_str());
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+struct RunSpec {
+  std::string protocol;
+  Testbed testbed = Testbed::kAws;
+  double center = 40'000.0;
+  double delta = 20.0;
+  std::uint64_t seed = 1;
+  std::size_t crashes = 0;
+  protocol::DelphiParams params;
+  std::uint32_t rounds = 10;
+  bool csv = false;
+};
+
+RunSpec parse_spec(Flags& f) {
+  RunSpec s;
+  s.protocol = f.str("protocol", "delphi");
+  const std::string tb = f.str("testbed", "aws");
+  if (tb == "aws") {
+    s.testbed = Testbed::kAws;
+  } else if (tb == "cps") {
+    s.testbed = Testbed::kCps;
+  } else {
+    usage("--testbed must be aws or cps");
+  }
+  const bool aws = s.testbed == Testbed::kAws;
+  s.center = f.num("center", aws ? 40'000.0 : 1000.0);
+  s.delta = f.num("delta", aws ? 20.0 : 5.0);
+  s.seed = static_cast<std::uint64_t>(f.num("seed", 1.0));
+  s.crashes = static_cast<std::size_t>(f.num("crashes", 0.0));
+  s.params.space_min = 0.0;
+  s.params.space_max = f.num("space-max", aws ? 200'000.0 : 2000.0);
+  s.params.rho0 = f.num("rho0", aws ? 10.0 : 0.5);
+  s.params.eps = f.num("eps", aws ? 2.0 : 0.5);
+  s.params.delta_max = f.num("delta-max", aws ? 2000.0 : 50.0);
+  s.rounds = static_cast<std::uint32_t>(f.num("rounds", 10.0));
+  s.csv = f.flag("csv");
+  return s;
+}
+
+Result run_spec(const RunSpec& s, std::size_t n) {
+  const auto inputs = clustered_inputs(n, s.center, s.delta, s.seed + n);
+  if (s.crashes > 0) {
+    // Crash faults need a custom factory (bench_util runners are all-honest).
+    auto cfg = testbed_config(s.testbed, n, s.seed);
+    std::set<NodeId> byz;
+    for (std::size_t i = 0; i < s.crashes; ++i) {
+      byz.insert(static_cast<NodeId>(n - 1 - i));
+    }
+    if (s.protocol != "delphi") usage("--crashes currently supports --protocol delphi");
+    auto outcome = sim::run_nodes(
+        cfg,
+        [&](NodeId i) -> std::unique_ptr<net::Protocol> {
+          if (byz.contains(i)) return std::make_unique<sim::SilentProtocol>();
+          protocol::DelphiProtocol::Config c;
+          c.n = n;
+          c.t = max_faults(n);
+          c.params = s.params;
+          return std::make_unique<protocol::DelphiProtocol>(c, inputs[i]);
+        },
+        byz);
+    Result r;
+    r.ok = outcome.all_honest_terminated;
+    r.runtime_ms = static_cast<double>(outcome.metrics.honest_completion) / 1e3;
+    r.megabytes = static_cast<double>(outcome.honest_bytes) / 1e6;
+    r.messages = outcome.honest_msgs;
+    r.outputs = outcome.honest_outputs;
+    return r;
+  }
+  if (s.protocol == "delphi") {
+    return run_delphi(s.testbed, n, s.seed, s.params, inputs);
+  }
+  if (s.protocol == "abraham") {
+    return run_abraham(s.testbed, n, s.seed, s.rounds, s.params.space_min,
+                       s.params.space_max, inputs);
+  }
+  if (s.protocol == "dolev") {
+    return run_dolev(s.testbed, n, s.seed, s.rounds, s.params.space_min,
+                     s.params.space_max, inputs);
+  }
+  if (s.protocol == "fin") return run_fin(s.testbed, n, s.seed, inputs);
+  usage(("unknown --protocol " + s.protocol).c_str());
+}
+
+void print_result(const RunSpec& s, std::size_t n, const Result& r,
+                  bool header) {
+  if (s.csv) {
+    if (header) {
+      std::printf("protocol,testbed,n,delta,seed,ok,runtime_ms,MB,messages,"
+                  "output_min,output_max\n");
+    }
+    double omin = 0.0, omax = 0.0;
+    if (!r.outputs.empty()) {
+      omin = *std::min_element(r.outputs.begin(), r.outputs.end());
+      omax = *std::max_element(r.outputs.begin(), r.outputs.end());
+    }
+    std::printf("%s,%s,%zu,%g,%llu,%d,%.3f,%.6f,%llu,%.6f,%.6f\n",
+                s.protocol.c_str(),
+                s.testbed == Testbed::kAws ? "aws" : "cps", n, s.delta,
+                static_cast<unsigned long long>(s.seed), r.ok ? 1 : 0,
+                r.runtime_ms, r.megabytes,
+                static_cast<unsigned long long>(r.messages), omin, omax);
+    return;
+  }
+  std::printf("%-8s n=%-4zu %s delta=%-8g ok=%s runtime=%.0f ms traffic=%.3f "
+              "MB msgs=%llu\n",
+              s.protocol.c_str(), n,
+              s.testbed == Testbed::kAws ? "aws" : "cps", s.delta,
+              r.ok ? "yes" : "NO", r.runtime_ms, r.megabytes,
+              static_cast<unsigned long long>(r.messages));
+  if (!r.outputs.empty()) {
+    const double omin = *std::min_element(r.outputs.begin(), r.outputs.end());
+    const double omax = *std::max_element(r.outputs.begin(), r.outputs.end());
+    std::printf("         outputs in [%.4f, %.4f] (spread %.4g)\n", omin, omax,
+                omax - omin);
+  }
+}
+
+int cmd_run(Flags& f, bool sweep) {
+  auto spec = parse_spec(f);
+  const auto sizes = sweep ? f.sizes("n")
+                           : std::vector<std::size_t>{static_cast<std::size_t>(
+                                 f.num("n", 16.0))};
+  f.reject_unknown();
+  bool first = true;
+  bool all_ok = true;
+  for (std::size_t n : sizes) {
+    const auto r = run_spec(spec, n);
+    print_result(spec, n, r, first);
+    first = false;
+    all_ok = all_ok && r.ok;
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_params(Flags& f) {
+  const std::string dist = f.str("dist", "normal");
+  const auto n = static_cast<std::size_t>(f.num("n", 16.0));
+  const double lambda = f.num("lambda", 30.0);
+  std::shared_ptr<stats::Distribution> d;
+  if (dist == "normal") {
+    d = std::make_shared<stats::Normal>(f.num("mu", 0.0),
+                                        f.num("sigma", 1.0));
+  } else if (dist == "gamma") {
+    d = std::make_shared<stats::Gamma>(f.num("shape", 2.0),
+                                       f.num("scale", 1.0));
+  } else if (dist == "frechet") {
+    d = std::make_shared<stats::Frechet>(f.num("alpha", 4.41),
+                                         f.num("scale", 29.3));
+  } else if (dist == "gumbel") {
+    d = std::make_shared<stats::Gumbel>(f.num("mu", 0.0),
+                                        f.num("scale", 1.0));
+  } else {
+    usage("--dist must be normal, gamma, frechet or gumbel");
+  }
+  f.reject_unknown();
+  const double bound = stats::range_bound(*d, n, lambda);
+  std::printf("distribution : %s\n", d->name().c_str());
+  std::printf("cohort size n: %zu\n", n);
+  std::printf("security     : lambda = %g bits (P(delta > Delta) <= 2^-%g)\n",
+              lambda, lambda);
+  std::printf("Delta        : %.6g\n", bound);
+  std::printf("suggestion   : params.delta_max = %.6g; params.rho0 = eps "
+              "(minimum relaxation)\n",
+              bound);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  try {
+    if (cmd == "run") return cmd_run(flags, /*sweep=*/false);
+    if (cmd == "sweep") return cmd_run(flags, /*sweep=*/true);
+    if (cmd == "params") return cmd_params(flags);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage(("unknown command " + cmd).c_str());
+}
