@@ -73,6 +73,10 @@ class DeltaDecoder {
   ScaledValue decode(std::uint32_t round, MoveCode code, ScaledValue scale) {
     DELPHI_REQUIRE(round >= 2 && round <= r_max_, "delta: round out of range");
     const ScaledValue unit = scale >> (round - 1);
+    // Mirror the encoder: a zero unit means the scale cannot express this
+    // round's granularity, so the stream is corrupt — refuse rather than
+    // silently decode every code to the previous value.
+    DELPHI_REQUIRE(unit != 0, "delta: granularity exhausted for scale");
     const auto steps =
         static_cast<ScaledValue>(static_cast<std::uint8_t>(code)) - 2;
     prev_ += steps * unit;

@@ -76,10 +76,10 @@ INSTANTIATE_TEST_SUITE_P(
                       AbaParam{7, 7, 0}, AbaParam{10, 8, 2},
                       AbaParam{13, 9, 2}, AbaParam{13, 10, 3},
                       AbaParam{16, 11, 2}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed) + "_p" +
-             std::to_string(info.param.pattern);
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_s" +
+             std::to_string(test_info.param.seed) + "_p" +
+             std::to_string(test_info.param.pattern);
     });
 
 TEST(Aba, ToleratesCrashFaults) {

@@ -65,9 +65,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AbrParam{4, 1, 10.0}, AbrParam{4, 2, 100.0},
                       AbrParam{7, 3, 10.0}, AbrParam{7, 4, 1.0},
                       AbrParam{10, 5, 50.0}, AbrParam{13, 6, 10.0}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_s" +
+             std::to_string(test_info.param.seed);
     });
 
 TEST(Abraham, ToleratesCrashFaults) {

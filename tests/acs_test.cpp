@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(AcsParam{4, 1}, AcsParam{4, 2}, AcsParam{7, 3},
                       AcsParam{7, 4}, AcsParam{10, 5}, AcsParam{13, 6},
                       AcsParam{16, 7}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_s" +
+             std::to_string(test_info.param.seed);
     });
 
 TEST(Acs, SubsetAgreesAcrossNodes) {

@@ -76,11 +76,11 @@ INSTANTIATE_TEST_SUITE_P(
                       BinAaParam{7, 4, 7, 2}, BinAaParam{10, 12, 8, 2},
                       BinAaParam{13, 10, 9, 3}, BinAaParam{16, 8, 10, 2},
                       BinAaParam{7, 1, 11, 2}, BinAaParam{7, 20, 12, 2}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_r" +
-             std::to_string(info.param.r_max) + "_s" +
-             std::to_string(info.param.seed) + "_p" +
-             std::to_string(info.param.pattern);
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_r" +
+             std::to_string(test_info.param.r_max) + "_s" +
+             std::to_string(test_info.param.seed) + "_p" +
+             std::to_string(test_info.param.pattern);
     });
 
 TEST(BinAa, ToleratesCrashFaults) {

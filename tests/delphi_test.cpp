@@ -91,10 +91,10 @@ INSTANTIATE_TEST_SUITE_P(
         DelphiCase{10, 8, 700.0, 10.0},
         DelphiCase{13, 9, 300.0, 20.0},
         DelphiCase{16, 10, 450.0, 5.0}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed) + "_w" +
-             std::to_string(static_cast<int>(info.param.spread));
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_s" +
+             std::to_string(test_info.param.seed) + "_w" +
+             std::to_string(static_cast<int>(test_info.param.spread));
     });
 
 TEST(Delphi, IdenticalInputsStayWithinRho0) {

@@ -1,0 +1,104 @@
+/// Round-trip edge cases for the VAL move-code codec (delta_codec.hpp):
+/// zero-length streams (initial bit only), single-entry streams, maximum
+/// legal deltas at every round, and exhausted granularity. The trajectory
+/// property test in binaa_test.cpp replays random legal walks; this suite
+/// pins the boundary behaviour deterministically.
+
+#include <gtest/gtest.h>
+
+#include "binaa/delta_codec.hpp"
+#include "common/error.hpp"
+
+namespace delphi::binaa {
+namespace {
+
+constexpr std::uint32_t kRMax = 10;
+constexpr ScaledValue kScale = ScaledValue{1} << kRMax;
+
+TEST(DeltaCodec, ZeroLengthStreamRoundTripsInitialBitOnly) {
+  // A node that crashes after round 1 transmits only the initial bit; the
+  // decoder must reproduce the exact endpoint value with no move codes.
+  for (ScaledValue v : {ScaledValue{0}, kScale}) {
+    DeltaEncoder enc(kRMax);
+    DeltaDecoder dec(kRMax);
+    const std::uint8_t bit = enc.encode_initial(v, kScale);
+    EXPECT_EQ(bit, v == kScale ? 1 : 0);
+    EXPECT_EQ(dec.decode_initial(bit, kScale), v);
+  }
+}
+
+TEST(DeltaCodec, SingleEntryStreamRoundTrips) {
+  // Exactly one move after the initial bit, for each of the five codes.
+  const ScaledValue unit2 = kScale >> 1;  // granularity at round 2
+  for (int steps = -2; steps <= 2; ++steps) {
+    DeltaEncoder enc(kRMax);
+    DeltaDecoder dec(kRMax);
+    const ScaledValue start = kScale;  // start at the top so -2 stays legal
+    dec.decode_initial(enc.encode_initial(start, kScale), kScale);
+    const ScaledValue next = start + steps * unit2;
+    const auto code = enc.encode(2, next, kScale);
+    ASSERT_TRUE(code.has_value()) << "steps=" << steps;
+    EXPECT_EQ(static_cast<int>(*code), steps + 2);
+    EXPECT_EQ(dec.decode(2, *code, kScale), next);
+  }
+}
+
+TEST(DeltaCodec, MaxDeltaAtEveryRoundRoundTrips) {
+  // Alternate the extreme moves (+2 then -2) across all rounds: the widest
+  // legal trajectory must stay lossless from round 2 through r_max.
+  DeltaEncoder enc(kRMax);
+  DeltaDecoder dec(kRMax);
+  ScaledValue value = 0;
+  dec.decode_initial(enc.encode_initial(value, kScale), kScale);
+  for (std::uint32_t r = 2; r <= kRMax; ++r) {
+    const ScaledValue unit = kScale >> (r - 1);
+    const int steps = (r % 2 == 0) ? 2 : -2;
+    value += steps * unit;
+    const auto code = enc.encode(r, value, kScale);
+    ASSERT_TRUE(code.has_value()) << "round=" << r;
+    EXPECT_EQ(*code, steps > 0 ? MoveCode::k2R : MoveCode::k2L);
+    EXPECT_EQ(dec.decode(r, *code, kScale), value);
+  }
+}
+
+TEST(DeltaCodec, ZeroMoveRoundTripsAtEveryRound) {
+  // The "stayed" code must be legal and lossless at every round, including
+  // the last one where the granularity unit is exactly 1.
+  DeltaEncoder enc(kRMax);
+  DeltaDecoder dec(kRMax);
+  const ScaledValue value = kScale;
+  dec.decode_initial(enc.encode_initial(value, kScale), kScale);
+  for (std::uint32_t r = 2; r <= kRMax; ++r) {
+    const auto code = enc.encode(r, value, kScale);
+    ASSERT_TRUE(code.has_value()) << "round=" << r;
+    EXPECT_EQ(*code, MoveCode::kC);
+    EXPECT_EQ(dec.decode(r, *code, kScale), value);
+  }
+}
+
+TEST(DeltaCodec, ExhaustedGranularityIsRejected) {
+  // Past r_max the unit would underflow to 0; the encoder must refuse
+  // rather than divide by zero, and the decoder must refuse the round.
+  DeltaEncoder enc(kRMax);
+  enc.encode_initial(0, kScale);
+  EXPECT_FALSE(enc.encode(kRMax + 1, 0, kScale).has_value());
+
+  // A scale too small for the round count exhausts the unit mid-stream.
+  DeltaEncoder small(kRMax);
+  const ScaledValue tiny_scale = 2;  // unit hits 0 at round 3
+  small.encode_initial(0, tiny_scale);
+  EXPECT_FALSE(small.encode(3, 0, tiny_scale).has_value());
+
+  DeltaDecoder dec(kRMax);
+  dec.decode_initial(0, kScale);
+  EXPECT_THROW(dec.decode(kRMax + 1, MoveCode::kC, kScale), Error);
+
+  // Mirror of the encoder case: a stream whose scale exhausts mid-run must
+  // be refused by the decoder too, not decoded to a stale value.
+  DeltaDecoder small_dec(kRMax);
+  small_dec.decode_initial(0, tiny_scale);
+  EXPECT_THROW(small_dec.decode(3, MoveCode::kC, tiny_scale), Error);
+}
+
+}  // namespace
+}  // namespace delphi::binaa

@@ -77,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
                  0.5, 5},
         DistCase{"uniform_noise",
                  std::make_shared<stats::Uniform>(10.0, 14.0), 0.25, 6}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& test_info) { return std::string(test_info.param.name); });
 
 /// Seed sweep: the same Delphi deployment under ten different adversarial
 /// schedules must deliver the guarantees every time (and deterministically

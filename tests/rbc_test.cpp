@@ -82,9 +82,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{4, 1}, SweepParam{4, 2}, SweepParam{7, 3},
                       SweepParam{7, 4}, SweepParam{10, 5}, SweepParam{13, 6},
                       SweepParam{16, 7}, SweepParam{25, 8}),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_s" +
-             std::to_string(info.param.seed);
+    [](const auto& test_info) {
+      return "n" + std::to_string(test_info.param.n) + "_s" +
+             std::to_string(test_info.param.seed);
     });
 
 TEST(Rbc, EquivocatingBroadcasterCannotSplitHonest) {

@@ -98,7 +98,7 @@ INSTANTIATE_TEST_SUITE_P(
                    0.6},
         MomentCase{"gumbel", std::make_shared<Gumbel>(10.0, 3.0), 0.05},
         MomentCase{"uniform", std::make_shared<Uniform>(-2.0, 6.0), 0.02}),
-    [](const auto& info) { return std::string(info.param.name); });
+    [](const auto& test_info) { return std::string(test_info.param.name); });
 
 TEST(Samplers, DeterministicGivenSeed) {
   Normal d(0.0, 1.0);
