@@ -129,6 +129,13 @@ bool quick_mode(int argc, char** argv) {
   return false;
 }
 
+bool xl_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--xl") == 0) return true;
+  }
+  return false;
+}
+
 void print_title(const std::string& title, const std::string& subtitle) {
   std::printf("\n==== %s ====\n", title.c_str());
   if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());

@@ -70,6 +70,11 @@ Result run_dolev(Testbed tb, std::size_t n, std::uint64_t seed,
 /// --quick on the command line trims sweeps for CI-speed runs.
 bool quick_mode(int argc, char** argv);
 
+/// --xl on the command line adds extra-large system sizes beyond the paper's
+/// sweeps (e.g. fig6c's n = 211 point) — opt-in because they multiply run
+/// time; the optimized simulator makes them practical at all.
+bool xl_mode(int argc, char** argv);
+
 /// Pretty-printing helpers.
 void print_title(const std::string& title, const std::string& subtitle);
 void print_row(const std::vector<std::string>& cells,

@@ -18,15 +18,20 @@ using namespace delphi::bench;
 
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
+  const bool xl = xl_mode(argc, argv);
   print_title("Fig 6c — runtime vs n on the CPS testbed (drone localization)",
               "Delphi config Delta = 50 m, rho0 = eps = 0.5 m; runtimes in "
               "milliseconds of simulated time.");
 
   protocol::DelphiParams params = protocol::DelphiParams::drone_cps();
 
-  const std::vector<std::size_t> sizes =
+  // --xl extends the sweep past the paper's largest point (n = 169) to
+  // n = 211 — impractical with the pre-optimization event engine, now a
+  // routine run; see ROADMAP "simulator internals".
+  std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{43, 85}
             : std::vector<std::size_t>{43, 85, 127, 169};
+  if (xl) sizes.push_back(211);
 
   const std::vector<int> w = {8, 22, 14, 12, 12};
   print_row({"n", "protocol", "runtime_ms", "MB", "ok"}, w);

@@ -10,16 +10,11 @@ BinAaCore::BinAaCore(const Config& cfg) : cfg_(cfg) {
   rounds_.resize(cfg_.r_max);
 }
 
-BinAaCore::Round& BinAaCore::round_state(std::uint32_t r) {
-  DELPHI_ASSERT(r >= 1 && r <= cfg_.r_max, "BinAA round out of range");
-  Round& rs = rounds_[r - 1];
-  if (!rs.initialized) {
-    rs.initialized = true;
-    rs.e1_seen_once = NodeBitset(cfg_.n);
-    rs.e1_seen_twice = NodeBitset(cfg_.n);
-    rs.e2_senders = NodeBitset(cfg_.n);
-  }
-  return rs;
+void BinAaCore::init_round(Round& rs) {
+  rs.initialized = true;
+  rs.e1_seen_once = NodeBitset(cfg_.n);
+  rs.e1_seen_twice = NodeBitset(cfg_.n);
+  rs.e2_senders = NodeBitset(cfg_.n);
 }
 
 bool BinAaCore::valid_value(std::uint32_t round, ScaledValue v) const {
@@ -69,6 +64,16 @@ void BinAaCore::on_echo(std::uint8_t kind, std::uint32_t round,
       votes = &rs.e1.back();
     }
     votes->senders.insert(from);
+    // Threshold-crossing gate: exactly one vote arrived, so a trigger can
+    // only newly fire when *this* value's tally just reached t+1 (Bracha
+    // amplification) or n-t (ECHO2 send / round advance) — every other
+    // tally, and hence every other trigger input, is unchanged. Counts move
+    // in steps of one, so crossings coincide with equality.
+    const std::size_t tally = votes->senders.count();
+    if (tally == cfg_.t + 1 || tally == cfg_.n - cfg_.t) {
+      run_triggers(round, out);
+      if (started_) try_advance(out);
+    }
   } else {
     if (!rs.e2_senders.insert(from)) return;  // one ECHO2 per sender
     ValueVotes* votes = find_votes(rs.e2, value);
@@ -77,10 +82,12 @@ void BinAaCore::on_echo(std::uint8_t kind, std::uint32_t round,
       votes = &rs.e2.back();
     }
     votes->senders.insert(from);
+    // ECHO2s never feed run_triggers (it reads only ECHO1 state); advance
+    // condition (2) can only newly hold at its n-t crossing.
+    if (votes->senders.count() == cfg_.n - cfg_.t && started_) {
+      try_advance(out);
+    }
   }
-
-  run_triggers(round, out);
-  if (started_) try_advance(out);
 }
 
 void BinAaCore::run_triggers(std::uint32_t round, std::vector<EchoAction>& out) {

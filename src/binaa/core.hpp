@@ -130,7 +130,15 @@ class BinAaCore {
   }
   bool valid_value(std::uint32_t round, ScaledValue v) const;
 
-  Round& round_state(std::uint32_t r);
+  /// Fast-path inline: this is hit for every echo of every bundle; only the
+  /// one-time bitset setup stays out of line.
+  Round& round_state(std::uint32_t r) {
+    DELPHI_ASSERT(r >= 1 && r <= cfg_.r_max, "BinAA round out of range");
+    Round& rs = rounds_[r - 1];
+    if (!rs.initialized) init_round(rs);
+    return rs;
+  }
+  void init_round(Round& rs);
   void run_triggers(std::uint32_t round, std::vector<EchoAction>& out);
   void try_advance(std::vector<EchoAction>& out);
   void begin_round(std::vector<EchoAction>& out);

@@ -46,6 +46,17 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+/// A bounded runtime resource (the simulator's event arena/heap, a reorder
+/// window) hit its configured capacity — e.g. a pathological adversary
+/// schedule keeping tens of millions of frames in flight. Raised *instead of*
+/// std::bad_alloc so callers can distinguish "schedule exceeded the
+/// deployment's budget" from genuine memory corruption, and can catch it as a
+/// delphi::Error.
+class ResourceExhausted : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const std::string& msg) {

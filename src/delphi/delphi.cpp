@@ -67,8 +67,10 @@ binaa::BinAaCore* DelphiProtocol::ensure_instance(std::uint32_t level,
                                                   std::int64_t k, NodeId from,
                                                   Collector& col) {
   Level& lv = levels_[level];
-  auto it = lv.instances.find(k);
-  if (it != lv.instances.end()) return &it->second;
+  auto it = std::lower_bound(
+      lv.instances.begin(), lv.instances.end(), k,
+      [](const auto& entry, std::int64_t key) { return entry.first < key; });
+  if (it != lv.instances.end() && it->first == k) return &it->second;
 
   if (k < cfg_.params.k_min(level) || k > cfg_.params.k_max(level)) {
     return nullptr;  // outside the input space — Byzantine garbage
@@ -77,13 +79,12 @@ binaa::BinAaCore* DelphiProtocol::ensure_instance(std::uint32_t level,
   --lv.mentions_left[from];
 
   const binaa::BinAaCore::Config core_cfg{cfg_.n, cfg_.t, r_max_};
-  auto [pos, inserted] = lv.instances.emplace(k, binaa::BinAaCore(core_cfg));
-  DELPHI_ASSERT(inserted, "Delphi: instance emplace collision");
+  it = lv.instances.emplace(it, k, binaa::BinAaCore(core_cfg));
   ++pending_instances_;
   scratch_.clear();
-  pos->second.start(is_own_checkpoint(level, k), scratch_);
+  it->second.start(is_own_checkpoint(level, k), scratch_);
   append_actions(level, k, scratch_, col);
-  return &pos->second;
+  return &it->second;
 }
 
 void DelphiProtocol::feed_explicit(const ExplicitEcho& e, NodeId from,

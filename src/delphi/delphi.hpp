@@ -28,8 +28,8 @@
 /// whose checkpoints the fast majority never materialized before deciding.
 /// See the comment in on_message and PROTOCOL.md §2.
 
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "delphi/message.hpp"
@@ -86,7 +86,14 @@ class DelphiProtocol final : public net::Protocol, public net::ValueOutput {
 
   struct Level {
     binaa::BinAaCore default_core;
-    std::map<std::int64_t, binaa::BinAaCore> instances;
+    /// Materialized instances, sorted by checkpoint index k. A flat sorted
+    /// vector, not a map: the per-sender mention budget keeps the population
+    /// small, lookups dominate insertions by orders of magnitude on the hot
+    /// path (every echo in every bundle), and binary search over contiguous
+    /// pairs beats red-black pointer chasing. Pointers returned by
+    /// ensure_instance are invalidated by the *next* materialization — no
+    /// caller retains one across deliveries.
+    std::vector<std::pair<std::int64_t, binaa::BinAaCore>> instances;
     /// First-mention budget per sender (Byzantine checkpoint-spam guard).
     std::vector<std::uint16_t> mentions_left;
 

@@ -5,8 +5,15 @@
 /// order even though the network reorders them. The sender stamps a per-link
 /// sequence number; the receiver releases message k only after 0..k-1.
 ///
-/// Used by the simulator's optional FIFO-link mode (which BinAA's compact
-/// delta codec requires) and by the TCP transport's per-connection inbox.
+/// Used by the simulator's FIFO-link mode (which BinAA's compact delta codec
+/// requires). The buffer is *flat*: in-window items live in a power-of-two
+/// ring indexed by (seq - next_expected), so the hot path (in-order or nearly
+/// in-order arrival) is O(1) with no node allocations — the std::map the
+/// original implementation used cost an allocation plus O(log k) pointer
+/// chasing per message. Sequence numbers beyond the bounded ring window
+/// (Byzantine senders jumping far ahead) overflow into a side map, keeping
+/// memory proportional to the number of buffered items, exactly like the old
+/// structure.
 
 #include <cstdint>
 #include <map>
@@ -16,37 +23,109 @@
 
 namespace delphi::net {
 
-/// Order-restoring buffer for one directed link. `Item` is any movable type.
+/// Order-restoring buffer for one directed link. `Item` is any movable,
+/// default-constructible type.
 template <typename Item>
 class FifoReorderBuffer {
  public:
-  /// Insert the item with the sender-assigned sequence number; returns every
-  /// item that is now deliverable, in sequence order (possibly empty).
-  /// Duplicate sequence numbers (Byzantine sender / retransmit) keep the
-  /// first-received copy.
-  std::vector<Item> push(std::uint64_t seq, Item item) {
-    std::vector<Item> ready;
-    if (seq < next_) return ready;            // stale duplicate
-    pending_.emplace(seq, std::move(item));   // keeps first copy on duplicate
-    while (true) {
-      auto it = pending_.find(next_);
-      if (it == pending_.end()) break;
-      ready.push_back(std::move(it->second));
-      pending_.erase(it);
-      ++next_;
+  /// The ring never grows beyond this many slots; farther-future sequence
+  /// numbers are buffered in the overflow map instead. Bounds flat memory at
+  /// sizeof(Item) * 64Ki per link regardless of adversary behavior.
+  static constexpr std::size_t kMaxRingSlots = std::size_t{1} << 16;
+
+  /// Zero-allocation insert path. Returns true iff the item was accepted;
+  /// false for stale (< next_expected) or duplicate sequence numbers — the
+  /// first-received copy wins, as with Byzantine retransmits.
+  bool insert(std::uint64_t seq, Item item) {
+    if (seq < next_) return false;  // stale duplicate
+    const std::uint64_t offset = seq - next_;
+    if (offset >= kMaxRingSlots) {
+      return far_.emplace(seq, std::move(item)).second;
     }
-    return ready;
+    // A seq first buffered beyond the window may have come back in range as
+    // next_ advanced; the far copy was received first, so it wins.
+    if (!far_.empty() && far_.contains(seq)) return false;
+    if (offset >= ring_.size()) grow(offset + 1);
+    const std::size_t idx = (head_ + offset) & (ring_.size() - 1);
+    if (present_[idx]) return false;  // in-window duplicate
+    ring_[idx] = std::move(item);
+    present_[idx] = 1;
+    ++ring_count_;
+    return true;
+  }
+
+  /// The next in-order item if it has arrived, else nullptr. The pointer is
+  /// valid until the next mutating call; move from it, then pop_ready().
+  Item* ready() {
+    if (ring_count_ != 0 && present_[head_]) return &ring_[head_];
+    if (!far_.empty() && far_.begin()->first == next_) {
+      // The far item is due: surface it through the ring head slot.
+      if (ring_.empty()) grow(1);
+      ring_[head_] = std::move(far_.begin()->second);
+      far_.erase(far_.begin());
+      present_[head_] = 1;
+      ++ring_count_;
+      return &ring_[head_];
+    }
+    return nullptr;
+  }
+
+  /// Consume the item ready() returned and advance to the next sequence
+  /// number. Only valid immediately after a non-null ready().
+  void pop_ready() {
+    DELPHI_ASSERT(!ring_.empty() && present_[head_],
+                  "FifoReorderBuffer: pop_ready without ready item");
+    present_[head_] = 0;
+    --ring_count_;
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    ++next_;
+  }
+
+  /// Convenience wrapper preserving the original API: insert, then drain
+  /// every consecutively deliverable item in sequence order.
+  std::vector<Item> push(std::uint64_t seq, Item item) {
+    std::vector<Item> out;
+    if (!insert(seq, std::move(item))) return out;
+    while (Item* p = ready()) {
+      out.push_back(std::move(*p));
+      pop_ready();
+    }
+    return out;
   }
 
   /// Next sequence number this link expects to release.
   std::uint64_t next_expected() const noexcept { return next_; }
 
   /// Number of buffered out-of-order items.
-  std::size_t pending() const noexcept { return pending_.size(); }
+  std::size_t pending() const noexcept { return ring_count_ + far_.size(); }
 
  private:
+  /// Grow the ring to a power of two >= needed, re-basing so that `next_`
+  /// maps to index 0. Amortized O(1) per item; capped at kMaxRingSlots.
+  void grow(std::size_t needed) {
+    std::size_t cap = ring_.empty() ? 16 : ring_.size();
+    while (cap < needed) cap <<= 1;
+    DELPHI_ASSERT(cap <= kMaxRingSlots, "FifoReorderBuffer: ring overgrown");
+    std::vector<Item> ring(cap);
+    std::vector<std::uint8_t> present(cap, 0);
+    for (std::size_t off = 0; off < ring_.size(); ++off) {
+      const std::size_t idx = (head_ + off) & (ring_.size() - 1);
+      if (present_[idx]) {
+        ring[off] = std::move(ring_[idx]);
+        present[off] = 1;
+      }
+    }
+    ring_ = std::move(ring);
+    present_ = std::move(present);
+    head_ = 0;
+  }
+
   std::uint64_t next_ = 0;
-  std::map<std::uint64_t, Item> pending_;
+  std::size_t head_ = 0;        ///< ring index holding sequence number next_
+  std::size_t ring_count_ = 0;  ///< items currently buffered in the ring
+  std::vector<Item> ring_;      ///< power-of-two window starting at next_
+  std::vector<std::uint8_t> present_;
+  std::map<std::uint64_t, Item> far_;  ///< seq >= next_ + kMaxRingSlots
 };
 
 /// Per-link sequence-number allocator for the sending side.

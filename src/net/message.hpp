@@ -11,6 +11,7 @@
 /// two representations together (serialize → decode → equal, encoded length
 /// == wire_size()).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -23,16 +24,44 @@ namespace delphi::net {
 /// Base class of all protocol messages.
 class MessageBody {
  public:
+  MessageBody() = default;
+  /// Copies never share the memoized size (it is recomputed on demand);
+  /// assignment also invalidates the target's cache — the payload may have
+  /// changed size.
+  MessageBody(const MessageBody&) noexcept {}
+  MessageBody& operator=(const MessageBody&) noexcept {
+    cached_wire_size_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
   virtual ~MessageBody() = default;
 
-  /// Exact number of payload bytes `serialize` will produce.
+  /// Exact number of payload bytes `serialize` will produce. Must be pure:
+  /// bodies are immutable, so the size never changes after construction.
   virtual std::size_t wire_size() const = 0;
+
+  /// Memoized wire_size(). A broadcast shares one body across n deliveries
+  /// and the simulator accounts bytes once on send and once on receive, so
+  /// without the cache a bundle's size is recomputed O(n) times per
+  /// broadcast — measurably hot on the CPS benches. Relaxed atomics suffice:
+  /// concurrent initializers store the same value (a zero-size payload is
+  /// simply recomputed each call).
+  std::size_t wire_size_cached() const {
+    std::size_t s = cached_wire_size_.load(std::memory_order_relaxed);
+    if (s == 0) {
+      s = wire_size();
+      cached_wire_size_.store(s, std::memory_order_relaxed);
+    }
+    return s;
+  }
 
   /// Encode the payload (excluding envelope framing and MAC tag).
   virtual void serialize(ByteWriter& w) const = 0;
 
   /// One-line description for logs/tests.
   virtual std::string debug() const = 0;
+
+ private:
+  mutable std::atomic<std::size_t> cached_wire_size_{0};
 };
 
 /// Shared immutable handle; a broadcast allocates the body once and shares it

@@ -13,10 +13,13 @@ RunOutcome run_nodes(const SimConfig& cfg, const ProtocolFactory& factory,
   RunOutcome out;
   out.all_honest_terminated = sim.run();
   out.metrics = sim.metrics();
+  // Traffic is aggregated by the simulator's batched post-run pass; only the
+  // protocol outputs still need a walk over the honest nodes.
+  const TrafficTotals traffic = sim.traffic_totals();
+  out.honest_bytes = traffic.honest_bytes;
+  out.honest_msgs = traffic.honest_msgs;
   for (NodeId i = 0; i < cfg.n; ++i) {
     if (byzantine.contains(i)) continue;
-    out.honest_bytes += sim.node_metrics(i).bytes_sent;
-    out.honest_msgs += sim.node_metrics(i).msgs_sent;
     if (const auto* vo = dynamic_cast<const ValueOutput*>(&sim.node(i))) {
       if (auto v = vo->output_value()) out.honest_outputs.push_back(*v);
     }

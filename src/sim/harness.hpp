@@ -14,7 +14,9 @@ namespace delphi::sim {
 /// Protocol output interface (see net/protocol.hpp).
 using ValueOutput = net::ValueOutput;
 
-/// Result of a harness run.
+/// Result of a harness run. Traffic fields come from the simulator's batched
+/// post-run aggregation (Simulator::traffic_totals) — bench binaries pay no
+/// per-delivery accounting beyond the per-node counters.
 struct RunOutcome {
   bool all_honest_terminated = false;
   SimMetrics metrics;

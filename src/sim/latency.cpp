@@ -35,16 +35,21 @@ constexpr std::array<std::array<double, 8>, 8> kOneWayMs = {{
 
 AwsGeoLatency::AwsGeoLatency(std::size_t n) : n_(n) {
   DELPHI_ASSERT(n >= 1, "AwsGeoLatency: n >= 1");
+  region_.resize(n_);
+  for (std::size_t node = 0; node < n_; ++node) {
+    // The paper distributes nodes equally across the 8 regions.
+    region_[node] = static_cast<std::uint8_t>(node % kRegions);
+  }
 }
 
 std::size_t AwsGeoLatency::region_of(NodeId node) const {
   DELPHI_ASSERT(node < n_, "AwsGeoLatency: node out of range");
-  // The paper distributes nodes equally across the 8 regions.
-  return node % kRegions;
+  return region_[node];
 }
 
 SimTime AwsGeoLatency::delay(NodeId from, NodeId to, Rng& rng) const {
-  const double base_ms = kOneWayMs[region_of(from)][region_of(to)];
+  DELPHI_ASSERT(from < n_ && to < n_, "AwsGeoLatency: node out of range");
+  const double base_ms = kOneWayMs[region_[from]][region_[to]];
   // ±20 % multiplicative jitter models routing/queueing variability.
   const double jitter = rng.uniform(0.8, 1.2);
   return static_cast<SimTime>(base_ms * jitter * 1000.0);

@@ -43,6 +43,11 @@ class UniformLatency final : public LatencyModel {
 
 /// Geo-distributed AWS model: 8 regions, round-robin placement, matrix of
 /// one-way delays, ±20 % multiplicative jitter.
+///
+/// The constructor precomputes each node's region, so the per-message hot
+/// path is two byte loads into the L1-resident 8×8 base matrix plus the
+/// jitter draw — same doubles as the modulo-based lookup, so the delay
+/// stream is bit-identical.
 class AwsGeoLatency final : public LatencyModel {
  public:
   /// \param n  number of nodes (for region assignment).
@@ -58,6 +63,7 @@ class AwsGeoLatency final : public LatencyModel {
 
  private:
   std::size_t n_;
+  std::vector<std::uint8_t> region_;  ///< precomputed region per node
 };
 
 /// Single-switch LAN: uniform base in [300, 1200] µs.

@@ -14,10 +14,37 @@
 ///
 /// Same SimConfig + same protocols ⇒ bit-identical run (all randomness flows
 /// from one seed; the event queue breaks time ties by sequence number).
+///
+/// Engine internals (the hot path the CPS benches live in):
+///   * Events are split into a 24-byte heap key (time, seq, arena slot) and a
+///     payload *frame* (sender, channel, message pointer) that lives in a
+///     slab arena with a free list. The scheduler is a hand-rolled indexed
+///     4-ary min-heap over the keys — sift operations move small POD keys
+///     instead of 56-byte events carrying shared_ptrs, and frames are written
+///     once and read once regardless of heap depth.
+///   * The pop order equals the old std::priority_queue's exactly: (time,
+///     seq) pairs are unique, so any correct heap yields the same total
+///     order. tests/golden_metrics_test.cpp pins this bit-for-bit.
+///   * Frames queued behind a busy uplink never enter the heap: each sender
+///     keeps its uplink backlog in a flat FIFO (departure order is monotone)
+///     and only the head frame is represented in the heap, as a *departure
+///     marker* carrying the frame's own (time, seq) with time = departure <=
+///     arrival. When the marker pops, the real arrival event is inserted.
+///     Because the marker reuses the frame's sequence number and departure <=
+///     arrival, every other event keeps its exact relative pop position —
+///     the heap shrinks from "every queued frame" to "frames in the air",
+///     orders of magnitude on bandwidth-bound (CPS) workloads. Latency and
+///     adversary delays are still drawn at send time, in send order, so the
+///     RNG stream is untouched.
+///   * Arena and heap growth beyond SimConfig::max_in_flight raises
+///     common ResourceExhausted (a typed delphi::Error) instead of
+///     std::bad_alloc, so pathological adversary schedules fail loudly.
+///   * Aggregate SimMetrics totals are folded from per-node counters when
+///     run() returns (batched); the per-delivery path touches only node-local
+///     counters.
 
 #include <memory>
 #include <optional>
-#include <queue>
 #include <set>
 #include <vector>
 
@@ -68,6 +95,10 @@ struct SimConfig {
   bool fifo_links = false;
   /// Safety valve: abort the run after this many deliveries.
   std::size_t max_events = 400'000'000;
+  /// Cap on *simultaneously in-flight* events (event arena + heap size).
+  /// Exceeding it — e.g. an adversary schedule that withholds everything —
+  /// raises ResourceExhausted instead of exhausting memory / std::bad_alloc.
+  std::size_t max_in_flight = 50'000'000;
 };
 
 /// Per-node traffic/termination metrics.
@@ -80,7 +111,9 @@ struct NodeMetrics {
   SimTime terminated_at = -1;
 };
 
-/// Whole-run metrics.
+/// Whole-run metrics. total_msgs / total_bytes are folded from the per-node
+/// counters when run() returns (batched accounting — the delivery hot path
+/// never touches these).
 struct SimMetrics {
   std::uint64_t total_msgs = 0;
   std::uint64_t total_bytes = 0;
@@ -89,6 +122,15 @@ struct SimMetrics {
   /// terminated.
   SimTime honest_completion = -1;
   bool all_honest_terminated = false;
+};
+
+/// Traffic totals split honest/Byzantine, aggregated in one post-run pass —
+/// the batched path harnesses and benches use instead of per-node loops.
+struct TrafficTotals {
+  std::uint64_t honest_msgs = 0;
+  std::uint64_t honest_bytes = 0;
+  std::uint64_t byzantine_msgs = 0;
+  std::uint64_t byzantine_bytes = 0;
 };
 
 /// The simulator. Usage:
@@ -109,7 +151,9 @@ class Simulator {
   void set_byzantine(std::set<NodeId> ids);
 
   /// Execute until every honest node terminates, the event queue drains, or
-  /// max_events fires. Returns true iff all honest nodes terminated.
+  /// max_events fires. Returns true iff all honest nodes terminated. Raises
+  /// ResourceExhausted if more than cfg.max_in_flight events are ever in
+  /// flight at once (the run is unusable afterwards).
   bool run();
 
   /// Access a node's protocol (e.g. to read outputs after run()).
@@ -126,6 +170,8 @@ class Simulator {
 
   const NodeMetrics& node_metrics(NodeId id) const;
   const SimMetrics& metrics() const noexcept { return metrics_; }
+  /// Batched honest/Byzantine traffic split (valid after run()).
+  TrafficTotals traffic_totals() const;
   const SimConfig& config() const noexcept { return cfg_; }
   const std::set<NodeId>& byzantine() const noexcept { return byzantine_; }
   bool is_byzantine(NodeId id) const { return byzantine_.contains(id); }
@@ -134,20 +180,74 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
 
  private:
-  struct Event {
-    SimTime at = 0;
-    std::uint64_t seq = 0;    // tie-break: FIFO among equal times
+  /// Payload of one scheduled event, stored in the slab arena. msg == nullptr
+  /// marks a node's start event. Exactly one (aligned) half cache line; the
+  /// channel rides in the heap entry instead, which has the padding to spare.
+  struct alignas(32) Frame {
+    net::MessagePtr msg;
+    std::uint64_t fifo_seq = 0;
     NodeId to = 0;
     NodeId from = 0;
-    std::uint32_t channel = 0;
-    net::MessagePtr msg;      // nullptr => start event
-    std::uint64_t fifo_seq = 0;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+
+  /// Indexed-heap key: ordering fields plus the arena slot of the payload
+  /// and the frame's channel (packed into what would otherwise be padding).
+  /// In the marker heap the "slot" field holds the sender's node id instead
+  /// (see file header).
+  struct HeapEntry {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal times
+    std::uint32_t slot = 0;
+    std::uint32_t channel = 0;
+  };
+  /// Upper bound on arena slots (and therefore max_in_flight).
+  static constexpr std::uint32_t kMaxSlots = 0x8000'0000u;
+
+  /// One frame waiting on a sender's uplink; arrival/seq/delays were fixed
+  /// at send time (so the RNG draw order matches eager scheduling exactly).
+  /// The message payload rides *in the ring* — an arena slot is only
+  /// allocated when the frame actually departs, which keeps the arena at
+  /// "frames in the air" size (cache-hot) no matter how deep uplink backlogs
+  /// grow, and turns backlog memory traffic sequential.
+  struct PendingDeparture {
+    SimTime departure = 0;
+    SimTime arrival = 0;
+    std::uint64_t seq = 0;
+    net::MessagePtr msg;
+    std::uint64_t fifo_seq = 0;
+    NodeId to = 0;
+    std::uint32_t channel = 0;
+  };
+
+  /// Flat power-of-two ring of a sender's queued departures (push_back /
+  /// pop_front only; departure times are monotone by construction).
+  class UplinkFifo {
+   public:
+    bool empty() const noexcept { return count_ == 0; }
+    PendingDeparture& front() noexcept { return buf_[head_]; }
+    const PendingDeparture& front() const noexcept { return buf_[head_]; }
+    void pop_front() noexcept {
+      head_ = (head_ + 1) & (buf_.size() - 1);
+      --count_;
     }
+    void push_back(PendingDeparture&& d) {
+      if (count_ == buf_.size()) grow();
+      buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(d);
+      ++count_;
+    }
+
+   private:
+    void grow() {
+      std::vector<PendingDeparture> grown(buf_.empty() ? 16 : 2 * buf_.size());
+      for (std::size_t i = 0; i < count_; ++i) {
+        grown[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+      }
+      buf_ = std::move(grown);
+      head_ = 0;
+    }
+    std::vector<PendingDeparture> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
   };
 
   struct Outgoing {
@@ -167,23 +267,66 @@ class Simulator {
     SimTime uplink_free = 0;
     NodeMetrics metrics;
     bool terminated_recorded = false;
+    /// Frames serializing on (or queued behind) this node's uplink, in
+    /// departure order; only the head is in the event heap.
+    UplinkFifo uplink_queue;
+    /// Pending self-deliveries (loopbacks run at the node's CPU clock, which
+    /// can be far ahead of simulated now on CPU-saturated workloads). Their
+    /// per-node delivery times are monotone, so only the earliest is kept in
+    /// the heap; the rest wait here. loopback_armed tracks whether a
+    /// loopback event for this node is currently in the heap.
+    UplinkFifo loopback_queue;
+    bool loopback_armed = false;
     /// Sender-side FIFO sequence numbers (when fifo_links).
     std::vector<std::uint64_t> fifo_next_seq;
-    /// Receiver-side reorder buffers indexed by sender (when fifo_links).
-    std::vector<net::FifoReorderBuffer<Event>> fifo_in;
+    /// Receiver-side reorder buffers of (channel << 32 | arena slot),
+    /// indexed by sender (when fifo_links).
+    std::vector<net::FifoReorderBuffer<std::uint64_t>> fifo_in;
   };
 
-  void deliver(const Event& ev);
-  void dispatch(const Event& ev);
-  void flush_outbox(NodeState& node, NodeId from, SimTime cpu_ready,
-                    std::vector<Outgoing>&& outbox);
-  bool honest_all_done() const;
+  static bool heap_before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    return a.at < b.at || (a.at == b.at && a.seq < b.seq);
+  }
+
+  std::uint32_t alloc_frame(NodeId to, NodeId from, net::MessagePtr msg,
+                            std::uint64_t fifo_seq);
+  void release_frame(std::uint32_t slot);
+  /// Account one newly created in-flight event against max_in_flight.
+  void note_in_flight();
+  static void push_heap_vec(std::vector<HeapEntry>& heap, HeapEntry e);
+  static void pop_heap_vec(std::vector<HeapEntry>& heap);
+  void heap_push(HeapEntry e) { push_heap_vec(heap_, e); }
+  void schedule(SimTime at, std::uint32_t slot, std::uint32_t channel);
+  void heap_pop() { pop_heap_vec(heap_); }
+
+  /// Pop the sender's uplink head into the heap as a real arrival event and
+  /// re-arm the marker for the next queued frame, if any.
+  void fire_departure(NodeId sender_id);
+  void deliver(std::uint32_t slot, std::uint32_t channel);
+  void dispatch(std::uint32_t slot, std::uint32_t channel);
+  void flush_outbox(NodeState& node, NodeId from, SimTime cpu_ready);
 
   SimConfig cfg_;
   std::vector<NodeState> nodes_;
   std::set<NodeId> byzantine_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+
+  /// Event scheduler: 4-ary min-heap of keys over the frame arena.
+  std::vector<HeapEntry> heap_;
+  /// Departure markers, one per sender at most (n entries), in their own
+  /// tiny heap so uplink pacing never inflates the main heap's depth. The
+  /// run loop pops the global (time, seq) minimum across both heaps.
+  std::vector<HeapEntry> marker_heap_;
+  std::vector<Frame> frames_;
+  std::vector<std::uint32_t> free_slots_;
+
+  /// Per-dispatch outbox, reused across every delivery (zero steady-state
+  /// allocations). Safe because dispatches never nest.
+  std::vector<Outgoing> outbox_scratch_;
+
   std::uint64_t next_seq_ = 0;
+  /// Events alive anywhere (arena, heap, uplink rings); capped by
+  /// cfg_.max_in_flight.
+  std::size_t in_flight_ = 0;
   SimTime now_ = 0;
   Rng net_rng_{0};
   SimMetrics metrics_;
