@@ -1,125 +1,138 @@
 #include "bench/bench_util.hpp"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
+
 namespace delphi::bench {
 
+scenario::TestbedKind to_scenario(Testbed tb) noexcept {
+  return tb == Testbed::kAws ? scenario::TestbedKind::kAws
+                             : scenario::TestbedKind::kCps;
+}
+
 sim::SimConfig testbed_config(Testbed tb, std::size_t n, std::uint64_t seed) {
-  sim::SimConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  if (tb == Testbed::kAws) {
-    cfg.latency = std::make_shared<sim::AwsGeoLatency>(n);
-    cfg.cost = sim::CostModel::aws();
-  } else {
-    cfg.latency = std::make_shared<sim::CpsLanLatency>();
-    cfg.cost = sim::CostModel::cps();
-  }
-  return cfg;
+  return scenario::testbed_config(to_scenario(tb), n, seed);
 }
 
 SimTime default_coin_cost(Testbed tb, std::size_t n) {
-  // A Cachin-style coin costs ~n/3+1 share verifications, one pairing each.
-  // Pairings run ~0.25 ms on t2.micro-class x86 and ~4 ms on Cortex-A72
-  // (Raspberry Pi 4) — the three-orders-over-symmetric-crypto cost the paper
-  // cites in §I.
-  const double per_pairing_us = (tb == Testbed::kAws) ? 250.0 : 4000.0;
-  return static_cast<SimTime>(per_pairing_us *
-                              (static_cast<double>(n) / 3.0 + 1.0));
+  return scenario::default_coin_cost(to_scenario(tb), n);
 }
 
 std::vector<double> clustered_inputs(std::size_t n, double center,
                                      double delta, std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> inputs(n);
-  if (n >= 2 && delta > 0.0) {
-    inputs[0] = center - delta / 2.0;
-    inputs[1] = center + delta / 2.0;
-    for (std::size_t i = 2; i < n; ++i) {
-      inputs[i] = center + (rng.uniform() - 0.5) * delta;
-    }
-    // Shuffle so the extremes are not always nodes 0/1.
-    for (std::size_t i = n; i > 1; --i) {
-      std::swap(inputs[i - 1], inputs[rng.below(i)]);
-    }
-  } else {
-    for (auto& v : inputs) v = center;
-  }
-  return inputs;
+  return scenario::clustered_inputs(n, center, delta, seed);
+}
+
+Result from_report(const scenario::RunReport& rep) {
+  Result r;
+  r.ok = rep.ok;
+  r.runtime_ms = rep.runtime_ms;
+  r.megabytes = rep.megabytes();
+  r.messages = rep.honest_msgs;
+  r.outputs = rep.outputs;
+  return r;
 }
 
 namespace {
-Result collect(const sim::RunOutcome& out) {
-  Result r;
-  r.ok = out.all_honest_terminated;
-  r.runtime_ms = static_cast<double>(out.metrics.honest_completion) / 1000.0;
-  r.megabytes = static_cast<double>(out.honest_bytes) / 1e6;
-  r.messages = out.honest_msgs;
-  r.outputs = out.honest_outputs;
-  return r;
+/// Common spec scaffold: sim substrate, explicit inputs (the benches control
+/// their workloads exactly).
+scenario::ScenarioSpec base_spec(const char* protocol, Testbed tb,
+                                 std::size_t n, std::uint64_t seed,
+                                 const std::vector<double>& inputs) {
+  scenario::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.substrate = scenario::Substrate::kSim;
+  spec.testbed = to_scenario(tb);
+  spec.n = n;
+  spec.seed = seed;
+  spec.inputs = inputs;
+  return spec;
 }
 }  // namespace
+
+scenario::ScenarioSpec delphi_spec(Testbed tb, std::size_t n,
+                                   std::uint64_t seed,
+                                   const protocol::DelphiParams& params,
+                                   const std::vector<double>& inputs) {
+  auto spec = base_spec("delphi", tb, n, seed, inputs);
+  spec.params["space-min"] = params.space_min;
+  spec.params["space-max"] = params.space_max;
+  spec.params["rho0"] = params.rho0;
+  spec.params["eps"] = params.eps;
+  spec.params["delta-max"] = params.delta_max;
+  return spec;
+}
+
+scenario::ScenarioSpec abraham_spec(Testbed tb, std::size_t n,
+                                    std::uint64_t seed, std::uint32_t rounds,
+                                    double space_min, double space_max,
+                                    const std::vector<double>& inputs) {
+  auto spec = base_spec("abraham", tb, n, seed, inputs);
+  spec.params["rounds"] = rounds;
+  spec.params["space-min"] = space_min;
+  spec.params["space-max"] = space_max;
+  return spec;
+}
+
+scenario::ScenarioSpec fin_spec(Testbed tb, std::size_t n, std::uint64_t seed,
+                                const std::vector<double>& inputs,
+                                SimTime coin_cost_us) {
+  auto spec = base_spec("fin", tb, n, seed, inputs);
+  if (coin_cost_us >= 0) {
+    spec.params["coin-us"] = static_cast<double>(coin_cost_us);
+  }
+  return spec;
+}
+
+scenario::ScenarioSpec dolev_spec(Testbed tb, std::size_t n,
+                                  std::uint64_t seed, std::uint32_t rounds,
+                                  double space_min, double space_max,
+                                  const std::vector<double>& inputs) {
+  auto spec = base_spec("dolev", tb, n, seed, inputs);
+  spec.params["rounds"] = rounds;
+  spec.params["space-min"] = space_min;
+  spec.params["space-max"] = space_max;
+  return spec;
+}
+
+std::vector<Result> run_specs(const std::vector<scenario::ScenarioSpec>& specs,
+                              unsigned jobs) {
+  const auto reports = scenario::SweepRunner(jobs).run(specs);
+  std::vector<Result> out;
+  out.reserve(reports.size());
+  for (const auto& rep : reports) out.push_back(from_report(rep));
+  return out;
+}
 
 Result run_delphi(Testbed tb, std::size_t n, std::uint64_t seed,
                   const protocol::DelphiParams& params,
                   const std::vector<double>& inputs) {
-  auto cfg = testbed_config(tb, n, seed);
-  protocol::DelphiProtocol::Config c;
-  c.n = n;
-  c.t = max_faults(n);
-  c.params = params;
-  return collect(sim::run_nodes(cfg, [&](NodeId i) {
-    return std::make_unique<protocol::DelphiProtocol>(c, inputs[i]);
-  }));
+  return from_report(
+      scenario::SimRuntime().run(delphi_spec(tb, n, seed, params, inputs)));
 }
 
 Result run_abraham(Testbed tb, std::size_t n, std::uint64_t seed,
                    std::uint32_t rounds, double space_min, double space_max,
                    const std::vector<double>& inputs) {
-  auto cfg = testbed_config(tb, n, seed);
-  abraham::AbrahamProtocol::Config c;
-  c.n = n;
-  c.t = max_faults(n);
-  c.rounds = rounds;
-  c.space_min = space_min;
-  c.space_max = space_max;
-  return collect(sim::run_nodes(cfg, [&](NodeId i) {
-    return std::make_unique<abraham::AbrahamProtocol>(c, inputs[i]);
-  }));
+  return from_report(scenario::SimRuntime().run(
+      abraham_spec(tb, n, seed, rounds, space_min, space_max, inputs)));
 }
 
 Result run_fin(Testbed tb, std::size_t n, std::uint64_t seed,
                const std::vector<double>& inputs, SimTime coin_cost_us) {
-  auto cfg = testbed_config(tb, n, seed);
-  static crypto::CommonCoin coin(0xF1A5C0);
-  acs::AcsProtocol::Config c;
-  c.n = n;
-  c.t = max_faults(n);
-  c.coin = &coin;
-  c.coin_compute_us =
-      coin_cost_us >= 0 ? coin_cost_us : default_coin_cost(tb, n);
-  c.session = seed;
-  return collect(sim::run_nodes(cfg, [&](NodeId i) {
-    return std::make_unique<acs::AcsProtocol>(c, inputs[i]);
-  }));
+  return from_report(
+      scenario::SimRuntime().run(fin_spec(tb, n, seed, inputs, coin_cost_us)));
 }
 
 Result run_dolev(Testbed tb, std::size_t n, std::uint64_t seed,
                  std::uint32_t rounds, double space_min, double space_max,
                  const std::vector<double>& inputs) {
-  auto cfg = testbed_config(tb, n, seed);
-  dolev::DolevProtocol::Config c;
-  c.n = n;
-  c.t = dolev::DolevProtocol::max_faults_5t(n);
-  c.rounds = rounds;
-  c.space_min = space_min;
-  c.space_max = space_max;
-  return collect(sim::run_nodes(cfg, [&](NodeId i) {
-    return std::make_unique<dolev::DolevProtocol>(c, inputs[i]);
-  }));
+  return from_report(scenario::SimRuntime().run(
+      dolev_spec(tb, n, seed, rounds, space_min, space_max, inputs)));
 }
 
 bool quick_mode(int argc, char** argv) {

@@ -14,12 +14,17 @@
 #include "acs/acs.hpp"
 #include "delphi/delphi.hpp"
 #include "dolev/dolev.hpp"
+#include "scenario/runtime.hpp"
+#include "scenario/spec.hpp"
 #include "sim/harness.hpp"
 
 namespace delphi::bench {
 
 /// Which simulated testbed to run on (§VI-C).
 enum class Testbed { kAws, kCps };
+
+/// Map to the scenario layer's testbed kind (the construction point).
+scenario::TestbedKind to_scenario(Testbed tb) noexcept;
 
 /// Simulation config for a testbed: latency model + cost model.
 sim::SimConfig testbed_config(Testbed tb, std::size_t n, std::uint64_t seed);
@@ -44,6 +49,34 @@ struct Result {
   std::uint64_t messages = 0;
   std::vector<double> outputs;
 };
+
+/// Project a scenario RunReport onto the bench result shape.
+Result from_report(const scenario::RunReport& rep);
+
+/// ScenarioSpec builders mirroring the one-call runners below — use these
+/// to batch independent runs through scenario::SweepRunner (multi-core
+/// sweeps) while producing numbers identical to the serial runners.
+scenario::ScenarioSpec delphi_spec(Testbed tb, std::size_t n,
+                                   std::uint64_t seed,
+                                   const protocol::DelphiParams& params,
+                                   const std::vector<double>& inputs);
+scenario::ScenarioSpec abraham_spec(Testbed tb, std::size_t n,
+                                    std::uint64_t seed, std::uint32_t rounds,
+                                    double space_min, double space_max,
+                                    const std::vector<double>& inputs);
+scenario::ScenarioSpec fin_spec(Testbed tb, std::size_t n, std::uint64_t seed,
+                                const std::vector<double>& inputs,
+                                SimTime coin_cost_us = -1);
+scenario::ScenarioSpec dolev_spec(Testbed tb, std::size_t n,
+                                  std::uint64_t seed, std::uint32_t rounds,
+                                  double space_min, double space_max,
+                                  const std::vector<double>& inputs);
+
+/// Run a batch of specs across `jobs` worker threads (0 = all cores) and
+/// project each report; results are in spec order and bit-identical to
+/// running the specs one by one.
+std::vector<Result> run_specs(const std::vector<scenario::ScenarioSpec>& specs,
+                              unsigned jobs = 0);
 
 /// Run Delphi on a testbed.
 Result run_delphi(Testbed tb, std::size_t n, std::uint64_t seed,

@@ -36,24 +36,36 @@ int main(int argc, char** argv) {
   const std::vector<int> w = {8, 22, 14, 12, 12};
   print_row({"n", "protocol", "runtime_ms", "MB", "ok"}, w);
 
+  // The sweep's runs are independent deterministic simulations, so they fan
+  // across all cores via SweepRunner (results identical to serial execution;
+  // only wall time changes).
+  std::vector<scenario::ScenarioSpec> specs;
   for (std::size_t n : sizes) {
     const auto in5 = clustered_inputs(n, 0.0, 5.0, 3 + n);
     const auto in50 = clustered_inputs(n, 0.0, 50.0, 5 + n);
+    specs.push_back(delphi_spec(Testbed::kCps, n, 1, params, in5));
+    specs.push_back(delphi_spec(Testbed::kCps, n, 2, params, in50));
+    specs.push_back(fin_spec(Testbed::kCps, n, 3, in5));
+    specs.push_back(abraham_spec(Testbed::kCps, n, 4, /*rounds=*/7, -1000.0,
+                                 1000.0, in5));
+  }
+  const auto results = run_specs(specs);
 
-    const auto d5 = run_delphi(Testbed::kCps, n, 1, params, in5);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const auto& d5 = results[4 * i];
+    const auto& d50 = results[4 * i + 1];
+    const auto& f = results[4 * i + 2];
+    const auto& a = results[4 * i + 3];
     print_row({std::to_string(n), "Delphi delta=5m", fmt(d5.runtime_ms, 0),
                fmt(d5.megabytes, 2), d5.ok ? "y" : "N"},
               w);
-    const auto d50 = run_delphi(Testbed::kCps, n, 2, params, in50);
     print_row({std::to_string(n), "Delphi delta=50m", fmt(d50.runtime_ms, 0),
                fmt(d50.megabytes, 2), d50.ok ? "y" : "N"},
               w);
-    const auto f = run_fin(Testbed::kCps, n, 3, in5);
     print_row({std::to_string(n), "FIN", fmt(f.runtime_ms, 0),
                fmt(f.megabytes, 2), f.ok ? "y" : "N"},
               w);
-    const auto a = run_abraham(Testbed::kCps, n, 4, /*rounds=*/7, -1000.0,
-                               1000.0, in5);
     print_row({std::to_string(n), "Abraham et al. d=5m",
                fmt(a.runtime_ms, 0), fmt(a.megabytes, 2), a.ok ? "y" : "N"},
               w);

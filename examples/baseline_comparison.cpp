@@ -3,45 +3,38 @@
 /// Abraham et al. — showing outputs, guarantees, and costs side by side
 /// (Table I of the paper, in one screen).
 ///
-/// Build: cmake --build build && ./build/examples/baseline_comparison
+/// Each contender is one declarative ScenarioSpec differing only in the
+/// `protocol` field; scenario::SweepRunner fans the three independent
+/// deterministic simulations across cores and returns the unified
+/// RunReports in spec order (bit-identical to running them serially).
+///
+/// Build: cmake --build build && ./build/example_baseline_comparison
 
 #include <algorithm>
 #include <cstdio>
 
-#include "abraham/abraham.hpp"
-#include "acs/acs.hpp"
-#include "delphi/delphi.hpp"
+#include "common/rng.hpp"
+#include "delphi/params.hpp"
 #include "oracle/feed.hpp"
-#include "sim/harness.hpp"
-#include "sim/latency.hpp"
+#include "scenario/sweep.hpp"
 
 using namespace delphi;
 
 namespace {
 
-sim::SimConfig aws(std::size_t n, std::uint64_t seed) {
-  sim::SimConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.latency = std::make_shared<sim::AwsGeoLatency>(n);
-  cfg.cost = sim::CostModel::aws();
-  return cfg;
-}
-
-void report(const char* name, const sim::RunOutcome& out,
+void report(const char* name, const scenario::RunReport& rep,
             const char* validity) {
-  const auto [mn, mx] = std::minmax_element(out.honest_outputs.begin(),
-                                            out.honest_outputs.end());
+  const auto [mn, mx] =
+      std::minmax_element(rep.outputs.begin(), rep.outputs.end());
   std::printf("%-16s out=[%.2f, %.2f]$  spread=%.3f$  %6.2f MB  %6.0f ms  %s\n",
-              name, *mn, *mx, *mx - *mn, out.honest_bytes / 1e6,
-              out.metrics.honest_completion / 1000.0, validity);
+              name, *mn, *mx, *mx - *mn, rep.megabytes(), rep.runtime_ms,
+              validity);
 }
 
 }  // namespace
 
 int main() {
   const std::size_t n = 16;
-  const std::size_t t = max_faults(n);
 
   oracle::PriceFeed feed(oracle::FeedConfig{}, Rng(3));
   const auto snapshot = feed.next_minute();
@@ -53,49 +46,50 @@ int main() {
               "%.2f$\n\n",
               *mn, *mx, *mx - *mn, feed.mid());
 
+  // One spec per contender; everything but `protocol`, seed, and the
+  // per-suite parameters is shared.
+  scenario::ScenarioSpec base;
+  base.testbed = scenario::TestbedKind::kAws;
+  base.n = n;
+  base.inputs = inputs;
+
   // Delphi (approximate agreement, relaxed validity, signature/coin-free).
-  protocol::DelphiProtocol::Config dc;
-  dc.n = n;
-  dc.t = t;
-  dc.params = protocol::DelphiParams::oracle_network();
-  report("Delphi",
-         sim::run_nodes(aws(n, 1),
-                        [&](NodeId i) {
-                          return std::make_unique<protocol::DelphiProtocol>(
-                              dc, inputs[i]);
-                        }),
-         "validity [m-d, M+d], eps-agreement, no crypto");
+  auto delphi_spec = base;
+  delphi_spec.protocol = "delphi";
+  delphi_spec.seed = 1;
+  const auto p = protocol::DelphiParams::oracle_network();
+  delphi_spec.params = {{"space-min", p.space_min},
+                        {"space-max", p.space_max},
+                        {"rho0", p.rho0},
+                        {"eps", p.eps},
+                        {"delta-max", p.delta_max}};
 
   // FIN-style ACS (exact agreement, convex validity, needs a common coin).
-  crypto::CommonCoin coin(99);
-  acs::AcsProtocol::Config ac;
-  ac.n = n;
-  ac.t = t;
-  ac.coin = &coin;
-  ac.coin_compute_us = 250 * (static_cast<SimTime>(n) / 3 + 1);
-  report("FIN (ACS)",
-         sim::run_nodes(aws(n, 2),
-                        [&](NodeId i) {
-                          return std::make_unique<acs::AcsProtocol>(ac,
-                                                                    inputs[i]);
-                        }),
-         "validity [m, M], exact agreement, threshold coin");
+  auto fin_spec = base;
+  fin_spec.protocol = "fin";
+  fin_spec.seed = 2;
+  fin_spec.params = {{"coin-seed", 99.0},
+                     {"coin-us", 250.0 * static_cast<double>(n / 3 + 1)}};
 
   // Abraham et al. (approximate agreement, convex validity, O(n^3)/round).
-  abraham::AbrahamProtocol::Config bc;
-  bc.n = n;
-  bc.t = t;
-  bc.rounds = 10;
-  bc.space_min = 0.0;
-  bc.space_max = 200'000.0;
-  report("Abraham et al.",
-         sim::run_nodes(aws(n, 3),
-                        [&](NodeId i) {
-                          return std::make_unique<abraham::AbrahamProtocol>(
-                              bc, inputs[i]);
-                        }),
+  auto abraham_spec = base;
+  abraham_spec.protocol = "abraham";
+  abraham_spec.seed = 3;
+  abraham_spec.params = {{"rounds", 10.0},
+                         {"space-min", 0.0},
+                         {"space-max", 200'000.0}};
+
+  const auto reports =
+      scenario::SweepRunner().run({delphi_spec, fin_spec, abraham_spec});
+
+  report("Delphi", reports[0],
+         "validity [m-d, M+d], eps-agreement, no crypto");
+  report("FIN (ACS)", reports[1],
+         "validity [m, M], exact agreement, threshold coin");
+  report("Abraham et al.", reports[2],
          "validity [m, M], eps-agreement, O(n^3)/round");
 
-  std::printf("\nSee bench/ for the full Table I / Fig 6 sweeps.\n");
+  std::printf("\nSee bench/ for the full Table I / Fig 6 sweeps, and "
+              "SCENARIOS.md for running any of these from delphi_cli.\n");
   return 0;
 }

@@ -5,63 +5,57 @@
 /// Every node is an OS thread with its own poll(2) event loop, talking TCP
 /// to every other node through length-framed, HMAC-SHA256-authenticated
 /// links. The protocol state machines are byte-for-byte the same code the
-/// simulator runs; only the substrate changes.
+/// simulator runs; only the substrate changes — which is why the whole
+/// deployment is three lines of scenario API: declare a ScenarioSpec with
+/// substrate=tcp, run it, read the unified RunReport. Flip `substrate` to
+/// kSim (or edit the printed spec text and feed it to `delphi_cli run
+/// --spec '...'`) and the identical scenario runs simulated instead.
 ///
-/// Build: cmake --build build && ./build/examples/tcp_cluster
+/// Build: cmake --build build && ./build/example_tcp_cluster
 
 #include <cstdio>
 
-#include "delphi/delphi.hpp"
-#include "transport/decoders.hpp"
-#include "transport/tcp.hpp"
+#include "scenario/runtime.hpp"
 
 using namespace delphi;
 
 int main() {
-  protocol::DelphiParams params;
-  params.space_min = 0.0;
-  params.space_max = 100000.0;  // a USD price space
-  params.rho0 = 2.0;
-  params.eps = 2.0;
-  params.delta_max = 256.0;
+  scenario::ScenarioSpec spec;
+  spec.protocol = "delphi";
+  spec.substrate = scenario::Substrate::kTcp;
+  spec.n = 7;
+  spec.seed = 7;  // master secret for pairwise HMAC keys + per-node RNGs
+  // Each node's sensor reading of a USD price.
+  spec.inputs = {40012.0, 40019.5, 40008.2, 40015.0,
+                 40021.7, 40011.1, 40017.4};
+  spec.params["space-min"] = 0.0;
+  spec.params["space-max"] = 100'000.0;
+  spec.params["rho0"] = 2.0;
+  spec.params["eps"] = 2.0;
+  spec.params["delta-max"] = 256.0;
+  spec.params["timeout-ms"] = 30'000.0;
 
-  const std::size_t n = 7;
-  const double readings[n] = {40012.0, 40019.5, 40008.2, 40015.0,
-                              40021.7, 40011.1, 40017.4};
+  std::printf("spec: %s\n\n", spec.to_text().c_str());
+  const auto report = scenario::run_scenario(spec);
 
-  transport::TcpCluster::Options opts;
-  opts.n = n;
-  opts.auth = true;      // HMAC every frame with pairwise keys
-  opts.seed = 7;         // master secret + per-node RNG seeds
-  opts.timeout_ms = 30'000;
+  std::printf("terminated: %s\n", report.ok ? "yes" : "no");
+  if (!report.ok) {
+    std::printf("unfinished nodes:");
+    for (const NodeId id : report.unfinished) std::printf(" %u", id);
+    std::printf("\n");
+    return 1;
+  }
 
-  transport::TcpCluster cluster(opts);
-  cluster.start(
-      [&](NodeId i) {
-        protocol::DelphiProtocol::Config cfg;
-        cfg.n = n;
-        cfg.t = max_faults(n);
-        cfg.params = params;
-        return std::make_unique<protocol::DelphiProtocol>(cfg, readings[i]);
-      },
-      transport::decoders::delphi());
-
-  const bool ok = cluster.wait();
-  std::printf("terminated: %s\n", ok ? "yes" : "no");
-  if (!ok) return 1;
-
-  std::printf("node  port   output      sent        recv\n");
-  std::uint64_t total_bytes = 0;
-  for (NodeId i = 0; i < n; ++i) {
-    const auto& p =
-        dynamic_cast<const protocol::DelphiProtocol&>(cluster.protocol(i));
-    const auto& m = cluster.metrics(i);
-    total_bytes += m.bytes_sent;
-    std::printf("%4u  %5u  %9.3f  %7.1f KB  %6llu msgs\n", i, cluster.port(i),
-                p.output_value().value_or(-1.0), m.bytes_sent / 1e3,
+  std::printf("node  output      sent        recv\n");
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    const auto& m = report.nodes[i];
+    std::printf("%4zu  %9.3f  %7.1f KB  %6llu msgs\n", i, report.outputs[i],
+                static_cast<double>(m.bytes_sent) / 1e3,
                 static_cast<unsigned long long>(m.msgs_delivered));
   }
-  std::printf("cluster total: %.1f KB on the wire (framed + MAC'd)\n",
-              total_bytes / 1e3);
+  std::printf("cluster total: %.1f KB on the wire (framed + MAC'd) in "
+              "%.0f ms wall\n",
+              static_cast<double>(report.honest_bytes) / 1e3,
+              report.runtime_ms);
   return 0;
 }

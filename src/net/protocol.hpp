@@ -7,6 +7,7 @@
 /// and the TCP transport.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -88,5 +89,10 @@ class Protocol {
   /// True once this node has produced its final output.
   virtual bool terminated() const = 0;
 };
+
+/// Builds node i's protocol instance. The shared deployment-population hook
+/// of every substrate (simulator harness, TCP cluster, scenario runtimes);
+/// Byzantine placements return adversarial implementations.
+using ProtocolFactory = std::function<std::unique_ptr<Protocol>(NodeId id)>;
 
 }  // namespace delphi::net

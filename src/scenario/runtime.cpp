@@ -1,0 +1,161 @@
+#include "scenario/runtime.hpp"
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+#include "scenario/registry.hpp"
+#include "sim/byzantine.hpp"
+#include "sim/latency.hpp"
+#include "transport/tcp.hpp"
+
+namespace delphi::scenario {
+
+namespace {
+
+/// Resolve t (kAutoFaults → protocol default) and validate.
+ScenarioSpec resolve(const ScenarioSpec& spec, const ProtocolInfo& info) {
+  ScenarioSpec rs = spec;
+  if (rs.t == kAutoFaults) rs.t = info.default_faults(rs.n);
+  rs.validate();
+  return rs;
+}
+
+/// Crash-fault placement: the top `crashes` node ids, silent from the start
+/// (the fault model of the paper's crash experiments and delphi_cli
+/// --crashes).
+std::set<NodeId> crash_set(const ScenarioSpec& spec) {
+  std::set<NodeId> ids;
+  for (std::size_t i = 0; i < spec.crashes; ++i) {
+    ids.insert(static_cast<NodeId>(spec.n - 1 - i));
+  }
+  return ids;
+}
+
+/// Wrap the suite factory so crash-faulted placements get SilentProtocol.
+net::ProtocolFactory with_crashes(net::ProtocolFactory inner,
+                                  std::set<NodeId> crashed) {
+  if (crashed.empty()) return inner;
+  return [inner = std::move(inner),
+          crashed = std::move(crashed)](NodeId i) -> std::unique_ptr<net::Protocol> {
+    if (crashed.contains(i)) return std::make_unique<sim::SilentProtocol>();
+    return inner(i);
+  };
+}
+
+}  // namespace
+
+sim::SimConfig testbed_config(TestbedKind tb, std::size_t n,
+                              std::uint64_t seed) {
+  sim::SimConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  switch (tb) {
+    case TestbedKind::kAws:
+      cfg.latency = std::make_shared<sim::AwsGeoLatency>(n);
+      cfg.cost = sim::CostModel::aws();
+      break;
+    case TestbedKind::kCps:
+      cfg.latency = std::make_shared<sim::CpsLanLatency>();
+      cfg.cost = sim::CostModel::cps();
+      break;
+    case TestbedKind::kAsync:
+      cfg.latency = std::make_shared<sim::UniformLatency>(100, 20'000);
+      cfg.cost = sim::CostModel::fast();
+      break;
+    case TestbedKind::kFast:
+      cfg.cost = sim::CostModel::fast();
+      break;
+  }
+  return cfg;
+}
+
+RunReport SimRuntime::run(const ScenarioSpec& spec) {
+  const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
+  const auto& info = reg.require(spec.protocol);
+  const ScenarioSpec rs = resolve(spec, info);
+
+  auto cfg = testbed_config(rs.testbed, rs.n, rs.seed);
+  cfg.auth_channels = rs.param("auth", 1.0) != 0.0;
+  cfg.fifo_links = rs.param("fifo", 0.0) != 0.0;
+
+  const auto crashed = crash_set(rs);
+  // The factory may own shared deployment state (coins, keys); it must
+  // outlive the simulator, so it is declared first.
+  const auto factory =
+      with_crashes(info.make_factory(rs, rs.make_inputs()), crashed);
+
+  sim::Simulator sim(cfg);
+  for (NodeId i = 0; i < rs.n; ++i) sim.add_node(factory(i));
+  sim.set_byzantine(crashed);
+
+  RunReport rep;
+  rep.ok = sim.run();
+  rep.runtime_ms =
+      static_cast<double>(sim.metrics().honest_completion) / 1000.0;
+  const auto traffic = sim.traffic_totals();
+  rep.honest_bytes = traffic.honest_bytes;
+  rep.honest_msgs = traffic.honest_msgs;
+  rep.nodes.resize(rs.n);
+  for (NodeId i = 0; i < rs.n; ++i) {
+    const auto& m = sim.node_metrics(i);
+    rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
+                    m.malformed_dropped, m.terminated_at};
+    if (!crashed.contains(i)) {
+      if (m.terminated_at < 0) rep.unfinished.push_back(i);
+      info.harvest(sim.node(i), rep.outputs);
+    }
+  }
+  return rep;
+}
+
+RunReport TcpRuntime::run(const ScenarioSpec& spec) {
+  const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
+  const auto& info = reg.require(spec.protocol);
+  const ScenarioSpec rs = resolve(spec, info);
+
+  transport::TcpCluster::Options opts;
+  opts.n = rs.n;
+  opts.auth = rs.param("auth", 1.0) != 0.0;
+  opts.seed = rs.seed;
+  opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
+
+  const auto crashed = crash_set(rs);
+  const auto factory =
+      with_crashes(info.make_factory(rs, rs.make_inputs()), crashed);
+
+  transport::TcpCluster cluster(opts);
+  const auto start = std::chrono::steady_clock::now();
+  cluster.start(factory, info.make_decoder(rs));
+
+  RunReport rep;
+  rep.ok = cluster.wait();
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  rep.runtime_ms = rep.ok ? static_cast<double>(wall) / 1000.0 : -0.001;
+  rep.nodes.resize(rs.n);
+  for (NodeId i = 0; i < rs.n; ++i) {
+    const auto& m = cluster.metrics(i);
+    rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
+                    m.malformed_dropped, /*terminated_at=*/-1};
+    if (!crashed.contains(i)) {
+      rep.honest_bytes += m.bytes_sent;
+      rep.honest_msgs += m.msgs_sent;
+      info.harvest(cluster.protocol(i), rep.outputs);
+    }
+  }
+  // wait() reports crashed (SilentProtocol) nodes as done, so everything in
+  // unfinished() is an honest straggler.
+  rep.unfinished = cluster.unfinished();
+  return rep;
+}
+
+RunReport run_scenario(const ScenarioSpec& spec) {
+  if (spec.substrate == Substrate::kTcp) return TcpRuntime().run(spec);
+  return SimRuntime().run(spec);
+}
+
+}  // namespace delphi::scenario

@@ -1,0 +1,107 @@
+#pragma once
+/// \file runtime.hpp
+/// Runtime — execute a ScenarioSpec on a substrate and return one unified
+/// RunReport.
+///
+/// SimRuntime drives the deterministic discrete-event simulator (same spec +
+/// seed ⇒ bit-identical report); TcpRuntime drives a real full-mesh TCP
+/// cluster on localhost. Both substrates run the identical protocol state
+/// machines (net::Protocol) built by the ProtocolRegistry, and both report
+/// through the same RunReport — the merge of the historical sim::RunOutcome,
+/// bench::Result, and transport::TransportMetrics mini-APIs.
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace delphi::scenario {
+
+class ProtocolRegistry;
+
+/// Per-node counters, unified across substrates (sim::NodeMetrics and
+/// transport::TransportMetrics report the same four quantities).
+struct NodeCounters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;  ///< framed bytes, self-delivery excluded
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t malformed_dropped = 0;
+  /// Termination time (simulated µs); -1 if never, or under TCP (which has
+  /// no per-node clock worth reporting).
+  SimTime terminated_at = -1;
+
+  bool operator==(const NodeCounters&) const = default;
+};
+
+/// Result of one scenario run on either substrate.
+struct RunReport {
+  /// Every honest (non-crashed) node terminated.
+  bool ok = false;
+  /// Honest completion time: simulated ms under sim, wall-clock ms under
+  /// TCP. (-0.001 when some honest node never terminated, matching the
+  /// historical honest_completion = -1 convention.)
+  double runtime_ms = 0.0;
+  /// Traffic of honest nodes only (the complexity the paper reports).
+  std::uint64_t honest_bytes = 0;
+  std::uint64_t honest_msgs = 0;
+  /// Harvested outputs of honest nodes, in node-id order (vector-valued
+  /// protocols contribute all coordinates; non-terminated nodes contribute
+  /// nothing).
+  std::vector<double> outputs;
+  /// All n nodes' counters, in node-id order.
+  std::vector<NodeCounters> nodes;
+  /// Honest node ids that had not terminated (empty iff ok) — under TCP the
+  /// ids TcpCluster::wait() timed out on.
+  std::vector<NodeId> unfinished;
+
+  bool operator==(const RunReport&) const = default;
+
+  double megabytes() const { return static_cast<double>(honest_bytes) / 1e6; }
+};
+
+/// A substrate that can execute scenarios.
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  /// Execute `spec` to completion. Throws ConfigError for unknown protocols
+  /// or invalid specs; protocol/transport errors propagate as delphi::Error.
+  virtual RunReport run(const ScenarioSpec& spec) = 0;
+};
+
+/// Deterministic discrete-event simulation (spec.testbed selects the
+/// latency/cost models; spec params: fifo, auth). Protocols resolve via
+/// `registry` (nullptr = ProtocolRegistry::global()).
+class SimRuntime final : public Runtime {
+ public:
+  explicit SimRuntime(const ProtocolRegistry* registry = nullptr) noexcept
+      : registry_(registry) {}
+  RunReport run(const ScenarioSpec& spec) override;
+
+ private:
+  const ProtocolRegistry* registry_;
+};
+
+/// Real sockets on 127.0.0.1, one OS thread per node (spec params: auth,
+/// timeout-ms; testbed is ignored — the network is real). Protocols resolve
+/// via `registry` (nullptr = ProtocolRegistry::global()).
+class TcpRuntime final : public Runtime {
+ public:
+  explicit TcpRuntime(const ProtocolRegistry* registry = nullptr) noexcept
+      : registry_(registry) {}
+  RunReport run(const ScenarioSpec& spec) override;
+
+ private:
+  const ProtocolRegistry* registry_;
+};
+
+/// Run on the substrate the spec names.
+RunReport run_scenario(const ScenarioSpec& spec);
+
+/// Simulation config for a testbed kind — the single construction point for
+/// the §VI-C testbeds (formerly duplicated between bench_util and tests).
+sim::SimConfig testbed_config(TestbedKind tb, std::size_t n,
+                              std::uint64_t seed);
+
+}  // namespace delphi::scenario

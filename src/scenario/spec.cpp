@@ -1,0 +1,206 @@
+#include "scenario/spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace delphi::scenario {
+
+namespace {
+
+/// Round-trip-exact double formatting: shortest %.17g form is parsed back to
+/// the identical bit pattern by strtod.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips (keeps specs readable).
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof(short_buf), "%g", v);
+  if (std::strtod(short_buf, nullptr) == v) return short_buf;
+  return buf;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw ConfigError("scenario: '" + key + "' expects a number, got '" +
+                      value + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw ConfigError("scenario: '" + key + "' expects an integer, got '" +
+                      value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const char* to_string(Substrate s) noexcept {
+  return s == Substrate::kSim ? "sim" : "tcp";
+}
+
+const char* to_string(TestbedKind tb) noexcept {
+  switch (tb) {
+    case TestbedKind::kAws:
+      return "aws";
+    case TestbedKind::kCps:
+      return "cps";
+    case TestbedKind::kAsync:
+      return "async";
+    case TestbedKind::kFast:
+      return "fast";
+  }
+  return "?";
+}
+
+double ScenarioSpec::param(const std::string& key, double dflt) const {
+  const auto it = params.find(key);
+  return it == params.end() ? dflt : it->second;
+}
+
+std::vector<double> ScenarioSpec::make_inputs() const {
+  if (!inputs.empty()) {
+    if (inputs.size() != n) {
+      throw ConfigError("scenario: explicit inputs size " +
+                        std::to_string(inputs.size()) + " != n " +
+                        std::to_string(n));
+    }
+    return inputs;
+  }
+  return clustered_inputs(n, center, delta, seed + n);
+}
+
+void ScenarioSpec::validate() const {
+  if (protocol.empty()) throw ConfigError("scenario: empty protocol name");
+  if (n < 1) throw ConfigError("scenario: n must be >= 1");
+  if (crashes >= n) throw ConfigError("scenario: crashes must be < n");
+  if (!inputs.empty() && inputs.size() != n) {
+    throw ConfigError("scenario: explicit inputs size != n");
+  }
+}
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream os;
+  os << "protocol=" << protocol;
+  os << " substrate=" << to_string(substrate);
+  os << " testbed=" << to_string(testbed);
+  os << " n=" << n;
+  os << " t=";
+  if (t == kAutoFaults) {
+    os << "auto";
+  } else {
+    os << t;
+  }
+  os << " crashes=" << crashes;
+  os << " seed=" << seed;
+  os << " center=" << fmt_double(center);
+  os << " delta=" << fmt_double(delta);
+  for (const auto& [k, v] : params) os << " " << k << "=" << fmt_double(v);
+  if (!inputs.empty()) {
+    os << " inputs=";
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << fmt_double(inputs[i]);
+    }
+  }
+  return os.str();
+}
+
+ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
+  ScenarioSpec spec;
+  spec.params.clear();
+  std::istringstream is(text);
+  std::string token;
+  while (is >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw ConfigError("scenario: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "protocol") {
+      spec.protocol = value;
+    } else if (key == "substrate") {
+      if (value == "sim") {
+        spec.substrate = Substrate::kSim;
+      } else if (value == "tcp") {
+        spec.substrate = Substrate::kTcp;
+      } else {
+        throw ConfigError("scenario: substrate must be sim or tcp, got '" +
+                          value + "'");
+      }
+    } else if (key == "testbed") {
+      if (value == "aws") {
+        spec.testbed = TestbedKind::kAws;
+      } else if (value == "cps") {
+        spec.testbed = TestbedKind::kCps;
+      } else if (value == "async") {
+        spec.testbed = TestbedKind::kAsync;
+      } else if (value == "fast") {
+        spec.testbed = TestbedKind::kFast;
+      } else {
+        throw ConfigError("scenario: unknown testbed '" + value + "'");
+      }
+    } else if (key == "n") {
+      spec.n = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "t") {
+      spec.t = value == "auto"
+                   ? kAutoFaults
+                   : static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "crashes") {
+      spec.crashes = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "seed") {
+      spec.seed = parse_u64(key, value);
+    } else if (key == "center") {
+      spec.center = parse_double(key, value);
+    } else if (key == "delta") {
+      spec.delta = parse_double(key, value);
+    } else if (key == "inputs") {
+      spec.inputs.clear();
+      std::stringstream ss(value);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        spec.inputs.push_back(parse_double(key, item));
+      }
+      if (spec.inputs.empty()) {
+        throw ConfigError("scenario: inputs= list is empty");
+      }
+    } else {
+      spec.params[key] = parse_double(key, value);
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::vector<double> clustered_inputs(std::size_t n, double center,
+                                     double delta, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> inputs(n);
+  if (n >= 2 && delta > 0.0) {
+    inputs[0] = center - delta / 2.0;
+    inputs[1] = center + delta / 2.0;
+    for (std::size_t i = 2; i < n; ++i) {
+      inputs[i] = center + (rng.uniform() - 0.5) * delta;
+    }
+    // Shuffle so the extremes are not always nodes 0/1.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(inputs[i - 1], inputs[rng.below(i)]);
+    }
+  } else {
+    for (auto& v : inputs) v = center;
+  }
+  return inputs;
+}
+
+}  // namespace delphi::scenario

@@ -1,0 +1,110 @@
+#pragma once
+/// \file spec.hpp
+/// ScenarioSpec — one declarative description of "run protocol P on testbed T
+/// with n nodes, fault model F, workload W, seed S, on substrate X".
+///
+/// The spec is the currency of the scenario API (see scenario/runtime.hpp):
+/// the same value runs unchanged on the discrete-event simulator and the real
+/// TCP transport, drives single runs and parallel sweeps, and round-trips
+/// through a plain `key=value` text form for CLI flags and scenario files.
+///
+/// Text form (whitespace-separated `key=value` tokens, e.g. one per line in a
+/// file):
+///
+///   protocol=delphi substrate=sim testbed=aws n=16 t=auto crashes=0 seed=1
+///   center=40000 delta=20 rho0=10 eps=2 delta-max=2000
+///
+/// Reserved keys are the fixed fields below; every other key is a numeric
+/// protocol parameter collected into `params` (the registry entry for the
+/// protocol decides which ones it reads — unknown parameters are ignored, so
+/// one sweep file can drive several protocols). `inputs=v0,v1,...` pins
+/// explicit per-node inputs instead of the clustered-workload generator.
+/// Serialization is canonical: fixed fields first, then params in key order,
+/// then inputs — `from_text(to_text(s)) == s` exactly (doubles are printed
+/// with round-trip precision).
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace delphi::scenario {
+
+/// Which runtime executes the scenario (see scenario/runtime.hpp).
+enum class Substrate { kSim, kTcp };
+
+/// Simulated deployment the latency/cost models are shaped after (§VI-C).
+/// Ignored by the TCP substrate, which runs on the real network.
+enum class TestbedKind {
+  kAws,    ///< t2.micro WAN: geo latency matrix, latency-dominated costs
+  kCps,    ///< Raspberry-Pi LAN: bandwidth- and CPU-dominated costs
+  kAsync,  ///< wide uniform latency, free CPU — correctness-test asynchrony
+  kFast,   ///< default latency, free CPU — fastest to execute
+};
+
+/// Sentinel for "derive the fault bound from the protocol's resilience".
+inline constexpr std::size_t kAutoFaults =
+    std::numeric_limits<std::size_t>::max();
+
+struct ScenarioSpec {
+  /// Registered protocol name (scenario/registry.hpp).
+  std::string protocol = "delphi";
+  Substrate substrate = Substrate::kSim;
+  TestbedKind testbed = TestbedKind::kAws;
+  std::size_t n = 16;
+  /// Fault bound the protocols are configured for; kAutoFaults derives the
+  /// protocol's maximum (e.g. (n-1)/3 for Delphi, (n-1)/5 for Dolev).
+  std::size_t t = kAutoFaults;
+  /// Crash-faulted nodes (silent from the start), placed at the top ids —
+  /// the fault model of the paper's crash experiments.
+  std::size_t crashes = 0;
+  /// Master seed: network randomness, per-node RNG streams, coin session.
+  std::uint64_t seed = 1;
+
+  /// Workload generator: honest inputs clustered with realized range exactly
+  /// `delta` around `center` (endpoints pinned) — how the paper's
+  /// "delta = 20$ / 180$" curves are driven. Generator seed is `seed + n` so
+  /// different system sizes in one sweep get distinct workloads.
+  double center = 40'000.0;
+  double delta = 20.0;
+  /// Explicit per-node inputs; when non-empty (size must be n) they replace
+  /// the generator.
+  std::vector<double> inputs;
+
+  /// Protocol-specific numeric knobs, e.g. rho0 / eps / delta-max / rounds /
+  /// r-max / coin-us / dims. Also carries substrate knobs: auth (default 1),
+  /// fifo (default 0, sim only), timeout-ms (default 30000, tcp only).
+  std::map<std::string, double> params;
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// Parameter lookup with default.
+  double param(const std::string& key, double dflt) const;
+
+  /// Materialize the per-node input vector (explicit inputs or generator).
+  /// Throws ConfigError if explicit inputs don't match n.
+  std::vector<double> make_inputs() const;
+
+  /// Basic structural validation (n >= 1, crashes < n, protocol non-empty);
+  /// protocol-level constraints are checked by the protocol configs.
+  void validate() const;
+
+  /// Canonical text form (see file header).
+  std::string to_text() const;
+  /// Parse a text form; throws ConfigError on malformed input.
+  static ScenarioSpec from_text(const std::string& text);
+};
+
+/// Honest inputs with realized range exactly `delta` around `center`
+/// (endpoints pinned, the rest uniform inside, positions shuffled). The
+/// single workload generator formerly private to bench_util.
+std::vector<double> clustered_inputs(std::size_t n, double center,
+                                     double delta, std::uint64_t seed);
+
+const char* to_string(Substrate s) noexcept;
+const char* to_string(TestbedKind tb) noexcept;
+
+}  // namespace delphi::scenario

@@ -1,0 +1,67 @@
+#include "scenario/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace delphi::scenario {
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs) {
+  if (jobs_ == 0) {
+    jobs_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::vector<RunReport> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  std::vector<RunReport> out(specs.size());
+  std::vector<std::exception_ptr> errors(specs.size());
+
+  std::vector<std::size_t> sim_indices;
+  std::vector<std::size_t> tcp_indices;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    (specs[i].substrate == Substrate::kSim ? sim_indices : tcp_indices)
+        .push_back(i);
+  }
+
+  const auto run_one = [&](std::size_t i) {
+    try {
+      out[i] = run_scenario(specs[i]);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  // Sim specs: work-stealing over a shared counter; each worker owns its
+  // result slots exclusively.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+         k < sim_indices.size();
+         k = next.fetch_add(1, std::memory_order_relaxed)) {
+      run_one(sim_indices[k]);
+    }
+  };
+  const unsigned pool =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, sim_indices.size()));
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool - 1);
+    for (unsigned j = 0; j + 1 < pool; ++j) threads.emplace_back(worker);
+    worker();  // the calling thread pulls its share too
+    for (auto& th : threads) th.join();
+  }
+
+  // TCP specs run serially (each one is already an n-thread deployment).
+  for (const std::size_t i : tcp_indices) run_one(i);
+
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  return out;
+}
+
+}  // namespace delphi::scenario

@@ -1,0 +1,38 @@
+#pragma once
+/// \file sweep.hpp
+/// SweepRunner — fan a batch of scenarios across a thread pool.
+///
+/// Simulator runs are single-threaded and deterministic, so independent
+/// specs parallelize with zero coordination: the pool's only shared state is
+/// the next-index counter, each worker writes its own result slot, and the
+/// returned vector is in spec order regardless of the job count — a parallel
+/// sweep is bit-identical to running the same specs serially
+/// (tests/sweep_test.cpp pins this).
+///
+/// TCP-substrate specs already spawn n threads each, so they are executed
+/// serially on the calling thread instead of multiplying the pool.
+
+#include <vector>
+
+#include "scenario/runtime.hpp"
+
+namespace delphi::scenario {
+
+class SweepRunner {
+ public:
+  /// \param jobs  worker threads for sim-substrate specs; 0 = one per
+  ///              hardware thread.
+  explicit SweepRunner(unsigned jobs = 0);
+
+  /// Run every spec, returning reports in spec order. If any run throws, the
+  /// remaining queued specs still execute and the error of the lowest-index
+  /// failing spec is rethrown after the pool drains.
+  std::vector<RunReport> run(const std::vector<ScenarioSpec>& specs) const;
+
+  unsigned jobs() const noexcept { return jobs_; }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace delphi::scenario

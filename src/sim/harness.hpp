@@ -27,10 +27,9 @@ struct RunOutcome {
   std::uint64_t honest_msgs = 0;
 };
 
-/// Builds node i's protocol. Byzantine placements return adversarial
-/// implementations.
-using ProtocolFactory =
-    std::function<std::unique_ptr<net::Protocol>(NodeId id)>;
+/// Builds node i's protocol — the shared alias from net/protocol.hpp (same
+/// factory type the TCP transport and scenario runtimes consume).
+using ProtocolFactory = net::ProtocolFactory;
 
 /// Construct a simulator from `cfg`, populate nodes via `factory`, mark
 /// `byzantine`, run to completion, and harvest outputs + traffic stats.

@@ -64,6 +64,17 @@ inline Decoder abraham(std::size_t n) {
   };
 }
 
+/// FIN-style ACS: channels 0..n-1 carry the n RBC children, n..2n-1 the n
+/// ABA children (the channel layout AcsProtocol defines).
+inline Decoder acs(std::size_t n) {
+  return [n](std::uint32_t channel, ByteReader& r) -> net::MessagePtr {
+    if (channel < static_cast<std::uint32_t>(n)) {
+      return rbc::RbcMessage::decode(r);
+    }
+    return aba::AbaMessage::decode(r);
+  };
+}
+
 /// Ben-Or local-coin binary agreement.
 inline Decoder benor() {
   return [](std::uint32_t, ByteReader& r) -> net::MessagePtr {

@@ -510,8 +510,23 @@ bool TcpCluster::wait() {
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+  // With threads joined the flags are final: record who never terminated so
+  // timeouts are diagnosable (which nodes, not just "false").
+  unfinished_.clear();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->done.load(std::memory_order_acquire)) {
+      unfinished_.push_back(i);
+    }
+  }
   joined_ = true;
-  return all_done;
+  // The joined flags are authoritative (a node may have terminated between
+  // the last poll and the join).
+  return unfinished_.empty();
+}
+
+const std::vector<NodeId>& TcpCluster::unfinished() const {
+  DELPHI_ASSERT(joined_, "TcpCluster: unfinished() before wait()");
+  return unfinished_;
 }
 
 net::Protocol& TcpCluster::protocol(NodeId id) {

@@ -69,8 +69,9 @@ class TcpCluster {
     std::int64_t timeout_ms = 30'000;
   };
 
-  using ProtocolFactory =
-      std::function<std::unique_ptr<net::Protocol>(NodeId id)>;
+  /// Shared factory alias from net/protocol.hpp (same type the simulator
+  /// harness and scenario runtimes consume).
+  using ProtocolFactory = net::ProtocolFactory;
 
   explicit TcpCluster(Options opts);
   ~TcpCluster();
@@ -83,8 +84,14 @@ class TcpCluster {
   void start(const ProtocolFactory& factory, Decoder decoder);
 
   /// Block until every node's protocol terminated or the timeout expires,
-  /// then stop and join all threads. Returns true iff all terminated.
+  /// then stop and join all threads. Returns true iff all terminated; on
+  /// timeout, unfinished() names the nodes that had not.
   bool wait();
+
+  /// Node ids whose protocols had not terminated when wait() gave up, in
+  /// ascending order (empty iff wait() returned true). Only safe after
+  /// wait() returned.
+  const std::vector<NodeId>& unfinished() const;
 
   /// Node i's protocol. Only safe after wait() returned (threads joined).
   net::Protocol& protocol(NodeId id);
@@ -105,6 +112,7 @@ class TcpCluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::thread> threads_;
   std::vector<std::uint16_t> ports_;
+  std::vector<NodeId> unfinished_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
   bool joined_ = false;

@@ -1,0 +1,101 @@
+/// Tests for scenario::SweepRunner: a parallel sweep must be bit-identical
+/// to the same specs run serially (each simulation is single-threaded and
+/// deterministic; the pool only distributes whole runs), results must come
+/// back in spec order regardless of the job count, and errors must surface
+/// after the pool drains.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "scenario/sweep.hpp"
+
+namespace delphi::scenario {
+namespace {
+
+/// A fig6c-style multi-protocol n-sweep on the fast testbed.
+std::vector<ScenarioSpec> mixed_sweep() {
+  std::vector<ScenarioSpec> specs;
+  for (const std::size_t n : {6, 9, 12, 15}) {
+    ScenarioSpec d;
+    d.protocol = "delphi";
+    d.testbed = TestbedKind::kFast;
+    d.n = n;
+    d.seed = 1;
+    specs.push_back(d);
+
+    ScenarioSpec f = d;
+    f.protocol = "fin";
+    f.seed = 3;
+    specs.push_back(f);
+
+    ScenarioSpec a = d;
+    a.protocol = "abraham";
+    a.seed = 4;
+    a.params["rounds"] = 7;
+    specs.push_back(a);
+  }
+  return specs;
+}
+
+TEST(Sweep, ParallelBitIdenticalToSerial) {
+  const auto specs = mixed_sweep();
+
+  // Serial reference: one run at a time on this thread.
+  std::vector<RunReport> serial;
+  serial.reserve(specs.size());
+  for (const auto& spec : specs) serial.push_back(run_scenario(spec));
+
+  // RunReport operator== compares every field — outputs, per-node counters,
+  // traffic totals, runtime — so equality here is bit-identity.
+  for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(jobs);
+    const auto parallel = SweepRunner(jobs).run(specs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(parallel[i], serial[i]);
+    }
+  }
+}
+
+TEST(Sweep, StableOrderAtAnyJobCount) {
+  const auto specs = mixed_sweep();
+  const auto reports = SweepRunner(8).run(specs);
+  ASSERT_EQ(reports.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(reports[i].nodes.size(), specs[i].n) << "slot " << i;
+    EXPECT_TRUE(reports[i].ok) << "slot " << i;
+  }
+}
+
+TEST(Sweep, MixedSubstratesInOneBatch) {
+  // TCP specs ride along in a sweep (executed serially on the caller).
+  ScenarioSpec sim_spec;
+  sim_spec.protocol = "dolev";
+  sim_spec.testbed = TestbedKind::kFast;
+  sim_spec.n = 6;
+  ScenarioSpec tcp_spec = sim_spec;
+  tcp_spec.substrate = Substrate::kTcp;
+
+  const auto reports = SweepRunner(2).run({sim_spec, tcp_spec, sim_spec});
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& rep : reports) EXPECT_TRUE(rep.ok);
+  // The two identical sim specs are bit-identical even with a TCP run
+  // interleaved in the batch.
+  EXPECT_EQ(reports[0], reports[2]);
+}
+
+TEST(Sweep, ErrorsSurfaceAfterPoolDrains) {
+  auto specs = mixed_sweep();
+  specs[1].protocol = "nonesuch";
+  EXPECT_THROW(SweepRunner(4).run(specs), ConfigError);
+}
+
+TEST(Sweep, EmptyBatchAndDefaultJobs) {
+  EXPECT_TRUE(SweepRunner().run({}).empty());
+  EXPECT_GE(SweepRunner().jobs(), 1u);
+  EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+}  // namespace
+}  // namespace delphi::scenario

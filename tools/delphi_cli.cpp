@@ -1,44 +1,64 @@
-/// delphi_cli — run any protocol / testbed / workload combination from the
-/// command line and get text or CSV results; derive Delphi parameters from a
-/// noise model via the EVT toolkit. The "I want one number without writing a
-/// bench binary" tool.
+/// delphi_cli — run any registered protocol on any substrate from the
+/// command line, single runs or multi-core sweeps, and derive Delphi
+/// parameters from a noise model via the EVT toolkit. The "I want one number
+/// without writing a bench binary" tool, built on the scenario API
+/// (src/scenario/): every invocation is a ScenarioSpec, and specs round-trip
+/// through text for files/scripts (see SCENARIOS.md).
 ///
-///   delphi_cli run    --protocol delphi --testbed aws --n 64 --delta 20
-///                     [--center 40000] [--rho0 10] [--eps 2]
-///                     [--delta-max 2000] [--seed 1] [--crashes 0] [--csv]
+///   delphi_cli run    --protocol delphi --transport sim|tcp --testbed aws
+///                     --n 64 [--delta 20] [--center 40000] [--seed 1]
+///                     [--crashes 0] [--t auto] [--rho0 10] [--eps 2]
+///                     [--delta-max 2000] [--rounds 10] [--csv] [--verbose]
+///   delphi_cli run    --spec 'protocol=dolev n=8 rounds=6 ...'
 ///   delphi_cli sweep  same flags, --n taking a comma list: --n 16,64,112
+///                     [--jobs J]   (J worker threads; 0 = all cores)
+///   delphi_cli spec   same flags; prints the canonical spec text
+///   delphi_cli protocols            lists every registered protocol
 ///   delphi_cli params --dist frechet --alpha 4.41 --scale 29.3 --n 160
 ///                     [--lambda 30]
 ///
-/// Protocols: delphi | abraham | dolev | fin. Testbeds: aws | cps.
+/// Protocols: whatever the registry holds — delphi, binaa, abraham, dolev,
+/// benor, aba, rbc, acs (alias fin), multidim, dora out of the box.
+/// Testbeds: aws | cps | async | fast (sim substrate; tcp is real I/O).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.hpp"
-#include "sim/byzantine.hpp"
+#include "common/error.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/sweep.hpp"
 #include "stats/evt.hpp"
 
 using namespace delphi;
-using namespace delphi::bench;
+using scenario::ScenarioSpec;
 
 namespace {
 
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr, R"(usage:
-  delphi_cli run   --protocol delphi|abraham|dolev|fin --testbed aws|cps
-                   --n N [--delta D] [--center C] [--seed S] [--crashes K]
-                   [--rho0 R] [--eps E] [--delta-max DM] [--rounds R] [--csv]
+  delphi_cli run   --protocol NAME --transport sim|tcp
+                   --testbed aws|cps|async|fast --n N
+                   [--delta D] [--center C] [--seed S] [--crashes K] [--t T]
+                   [--rho0 R] [--eps E] [--delta-max DM] [--space-max SM]
+                   [--rounds R] [--jobs J] [--csv] [--verbose]
+  delphi_cli run   --spec 'protocol=... n=... key=value ...' [--csv]
   delphi_cli sweep  same flags; --n accepts a comma list (e.g. --n 16,64,112)
+                   and --jobs J fans runs across J threads (0 = all cores)
+  delphi_cli spec   same flags as run; prints the canonical spec text
+  delphi_cli protocols
   delphi_cli params --dist normal|gamma|frechet|gumbel --n N [--lambda L]
                    [--mu M] [--sigma S] [--alpha A] [--scale SC] [--shape SH]
+
+protocols are resolved via the scenario registry; `delphi_cli protocols`
+lists what this build knows.
 )");
   std::exit(2);
 }
@@ -51,7 +71,7 @@ class Flags {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) usage(("unexpected argument: " + key).c_str());
       key = key.substr(2);
-      if (key == "csv") {
+      if (key == "csv" || key == "verbose") {
         values_[key] = "1";
         continue;
       }
@@ -65,6 +85,8 @@ class Flags {
     auto it = values_.find(key);
     return it == values_.end() ? dflt : it->second;
   }
+
+  bool has(const std::string& key) const { return values_.contains(key); }
 
   double num(const std::string& key, double dflt) {
     consumed_.insert(key);
@@ -111,137 +133,155 @@ class Flags {
   std::set<std::string> consumed_;
 };
 
-struct RunSpec {
-  std::string protocol;
-  Testbed testbed = Testbed::kAws;
-  double center = 40'000.0;
-  double delta = 20.0;
-  std::uint64_t seed = 1;
-  std::size_t crashes = 0;
-  protocol::DelphiParams params;
-  std::uint32_t rounds = 10;
-  bool csv = false;
-};
-
-RunSpec parse_spec(Flags& f) {
-  RunSpec s;
-  s.protocol = f.str("protocol", "delphi");
+/// Build a ScenarioSpec from flags (n is filled per run/sweep entry).
+/// Protocol-parameter defaults keep the historical per-testbed shapes: AWS
+/// is the paper's USD price feed, CPS the drone-localization workload.
+ScenarioSpec parse_spec(Flags& f) {
+  ScenarioSpec spec;
+  if (f.has("spec")) {
+    spec = ScenarioSpec::from_text(f.str("spec", ""));
+    return spec;
+  }
+  f.str("spec", "");  // mark consumed either way
+  spec.protocol = f.str("protocol", "delphi");
+  const std::string transport = f.str("transport", "sim");
+  if (transport == "sim") {
+    spec.substrate = scenario::Substrate::kSim;
+  } else if (transport == "tcp") {
+    spec.substrate = scenario::Substrate::kTcp;
+  } else {
+    usage("--transport must be sim or tcp");
+  }
   const std::string tb = f.str("testbed", "aws");
   if (tb == "aws") {
-    s.testbed = Testbed::kAws;
+    spec.testbed = scenario::TestbedKind::kAws;
   } else if (tb == "cps") {
-    s.testbed = Testbed::kCps;
+    spec.testbed = scenario::TestbedKind::kCps;
+  } else if (tb == "async") {
+    spec.testbed = scenario::TestbedKind::kAsync;
+  } else if (tb == "fast") {
+    spec.testbed = scenario::TestbedKind::kFast;
   } else {
-    usage("--testbed must be aws or cps");
+    usage("--testbed must be aws, cps, async or fast");
   }
-  const bool aws = s.testbed == Testbed::kAws;
-  s.center = f.num("center", aws ? 40'000.0 : 1000.0);
-  s.delta = f.num("delta", aws ? 20.0 : 5.0);
-  s.seed = static_cast<std::uint64_t>(f.num("seed", 1.0));
-  s.crashes = static_cast<std::size_t>(f.num("crashes", 0.0));
-  s.params.space_min = 0.0;
-  s.params.space_max = f.num("space-max", aws ? 200'000.0 : 2000.0);
-  s.params.rho0 = f.num("rho0", aws ? 10.0 : 0.5);
-  s.params.eps = f.num("eps", aws ? 2.0 : 0.5);
-  s.params.delta_max = f.num("delta-max", aws ? 2000.0 : 50.0);
-  s.rounds = static_cast<std::uint32_t>(f.num("rounds", 10.0));
-  s.csv = f.flag("csv");
-  return s;
+  const bool aws = tb != "cps";
+  spec.center = f.num("center", aws ? 40'000.0 : 1000.0);
+  spec.delta = f.num("delta", aws ? 20.0 : 5.0);
+  spec.seed = static_cast<std::uint64_t>(f.num("seed", 1.0));
+  spec.crashes = static_cast<std::size_t>(f.num("crashes", 0.0));
+  const std::string t = f.str("t", "auto");
+  if (t != "auto") {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(t.c_str(), &end, 10);
+    if (end == t.c_str() || *end != '\0') usage("--t expects auto or a count");
+    spec.t = static_cast<std::size_t>(v);
+  }
+  spec.params["space-min"] = f.num("space-min", 0.0);
+  spec.params["space-max"] = f.num("space-max", aws ? 200'000.0 : 2000.0);
+  spec.params["rho0"] = f.num("rho0", aws ? 10.0 : 0.5);
+  spec.params["eps"] = f.num("eps", aws ? 2.0 : 0.5);
+  spec.params["delta-max"] = f.num("delta-max", aws ? 2000.0 : 50.0);
+  spec.params["rounds"] = f.num("rounds", 10.0);
+  // Optional knobs land in params only when given (registry entries default
+  // the rest per protocol).
+  for (const char* key : {"r-max", "dims", "coin-us", "coin-seed", "max-rounds",
+                          "timeout-ms", "auth", "fifo", "broadcaster",
+                          "sign-us", "verify-us", "keys-seed"}) {
+    if (f.has(key)) spec.params[key] = f.num(key, 0.0);
+  }
+  return spec;
 }
 
-Result run_spec(const RunSpec& s, std::size_t n) {
-  const auto inputs = clustered_inputs(n, s.center, s.delta, s.seed + n);
-  if (s.crashes > 0) {
-    // Crash faults need a custom factory (bench_util runners are all-honest).
-    auto cfg = testbed_config(s.testbed, n, s.seed);
-    std::set<NodeId> byz;
-    for (std::size_t i = 0; i < s.crashes; ++i) {
-      byz.insert(static_cast<NodeId>(n - 1 - i));
-    }
-    if (s.protocol != "delphi") usage("--crashes currently supports --protocol delphi");
-    auto outcome = sim::run_nodes(
-        cfg,
-        [&](NodeId i) -> std::unique_ptr<net::Protocol> {
-          if (byz.contains(i)) return std::make_unique<sim::SilentProtocol>();
-          protocol::DelphiProtocol::Config c;
-          c.n = n;
-          c.t = max_faults(n);
-          c.params = s.params;
-          return std::make_unique<protocol::DelphiProtocol>(c, inputs[i]);
-        },
-        byz);
-    Result r;
-    r.ok = outcome.all_honest_terminated;
-    r.runtime_ms = static_cast<double>(outcome.metrics.honest_completion) / 1e3;
-    r.megabytes = static_cast<double>(outcome.honest_bytes) / 1e6;
-    r.messages = outcome.honest_msgs;
-    r.outputs = outcome.honest_outputs;
-    return r;
+void print_report(const ScenarioSpec& spec, const scenario::RunReport& r,
+                  bool csv, bool verbose, bool header) {
+  double omin = 0.0, omax = 0.0;
+  if (!r.outputs.empty()) {
+    omin = *std::min_element(r.outputs.begin(), r.outputs.end());
+    omax = *std::max_element(r.outputs.begin(), r.outputs.end());
   }
-  if (s.protocol == "delphi") {
-    return run_delphi(s.testbed, n, s.seed, s.params, inputs);
-  }
-  if (s.protocol == "abraham") {
-    return run_abraham(s.testbed, n, s.seed, s.rounds, s.params.space_min,
-                       s.params.space_max, inputs);
-  }
-  if (s.protocol == "dolev") {
-    return run_dolev(s.testbed, n, s.seed, s.rounds, s.params.space_min,
-                     s.params.space_max, inputs);
-  }
-  if (s.protocol == "fin") return run_fin(s.testbed, n, s.seed, inputs);
-  usage(("unknown --protocol " + s.protocol).c_str());
-}
-
-void print_result(const RunSpec& s, std::size_t n, const Result& r,
-                  bool header) {
-  if (s.csv) {
+  if (csv) {
     if (header) {
-      std::printf("protocol,testbed,n,delta,seed,ok,runtime_ms,MB,messages,"
-                  "output_min,output_max\n");
+      std::printf(
+          "protocol,transport,testbed,n,delta,seed,ok,runtime_ms,MB,messages,"
+          "output_min,output_max\n");
     }
-    double omin = 0.0, omax = 0.0;
-    if (!r.outputs.empty()) {
-      omin = *std::min_element(r.outputs.begin(), r.outputs.end());
-      omax = *std::max_element(r.outputs.begin(), r.outputs.end());
-    }
-    std::printf("%s,%s,%zu,%g,%llu,%d,%.3f,%.6f,%llu,%.6f,%.6f\n",
-                s.protocol.c_str(),
-                s.testbed == Testbed::kAws ? "aws" : "cps", n, s.delta,
-                static_cast<unsigned long long>(s.seed), r.ok ? 1 : 0,
-                r.runtime_ms, r.megabytes,
-                static_cast<unsigned long long>(r.messages), omin, omax);
+    std::printf("%s,%s,%s,%zu,%g,%llu,%d,%.3f,%.6f,%llu,%.6f,%.6f\n",
+                spec.protocol.c_str(), scenario::to_string(spec.substrate),
+                scenario::to_string(spec.testbed), spec.n, spec.delta,
+                static_cast<unsigned long long>(spec.seed), r.ok ? 1 : 0,
+                r.runtime_ms, r.megabytes(),
+                static_cast<unsigned long long>(r.honest_msgs), omin, omax);
     return;
   }
-  std::printf("%-8s n=%-4zu %s delta=%-8g ok=%s runtime=%.0f ms traffic=%.3f "
-              "MB msgs=%llu\n",
-              s.protocol.c_str(), n,
-              s.testbed == Testbed::kAws ? "aws" : "cps", s.delta,
-              r.ok ? "yes" : "NO", r.runtime_ms, r.megabytes,
-              static_cast<unsigned long long>(r.messages));
+  std::printf("%-8s n=%-4zu %s/%s delta=%-8g ok=%s runtime=%.0f ms "
+              "traffic=%.3f MB msgs=%llu\n",
+              spec.protocol.c_str(), spec.n,
+              scenario::to_string(spec.substrate),
+              scenario::to_string(spec.testbed), spec.delta,
+              r.ok ? "yes" : "NO", r.runtime_ms, r.megabytes(),
+              static_cast<unsigned long long>(r.honest_msgs));
   if (!r.outputs.empty()) {
-    const double omin = *std::min_element(r.outputs.begin(), r.outputs.end());
-    const double omax = *std::max_element(r.outputs.begin(), r.outputs.end());
     std::printf("         outputs in [%.4f, %.4f] (spread %.4g)\n", omin, omax,
                 omax - omin);
   }
+  if (!r.unfinished.empty()) {
+    std::printf("         unfinished nodes:");
+    for (const NodeId id : r.unfinished) std::printf(" %u", id);
+    std::printf("\n");
+  }
+  if (verbose) {
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+      const auto& nm = r.nodes[i];
+      std::printf("         node %-3zu sent=%llu (%.1f KB) delivered=%llu "
+                  "dropped=%llu\n",
+                  i, static_cast<unsigned long long>(nm.msgs_sent),
+                  static_cast<double>(nm.bytes_sent) / 1e3,
+                  static_cast<unsigned long long>(nm.msgs_delivered),
+                  static_cast<unsigned long long>(nm.malformed_dropped));
+    }
+  }
 }
 
-int cmd_run(Flags& f, bool sweep) {
+int cmd_run(Flags& f, bool sweep, bool print_spec_only) {
   auto spec = parse_spec(f);
-  const auto sizes = sweep ? f.sizes("n")
-                           : std::vector<std::size_t>{static_cast<std::size_t>(
-                                 f.num("n", 16.0))};
+  std::vector<std::size_t> sizes;
+  if (f.has("n")) {
+    sizes = sweep ? f.sizes("n")
+                  : std::vector<std::size_t>{
+                        static_cast<std::size_t>(f.num("n", 16.0))};
+  } else {
+    f.num("n", 0.0);  // consume
+    sizes = {spec.n};
+  }
+  const auto jobs = static_cast<unsigned>(f.num("jobs", 0.0));
+  const bool csv = f.flag("csv");
+  const bool verbose = f.flag("verbose");
   f.reject_unknown();
-  bool first = true;
+
+  std::vector<ScenarioSpec> specs;
+  for (const std::size_t n : sizes) {
+    spec.n = n;
+    specs.push_back(spec);
+  }
+  if (print_spec_only) {
+    for (const auto& s : specs) std::printf("%s\n", s.to_text().c_str());
+    return 0;
+  }
+  const auto reports = scenario::SweepRunner(jobs).run(specs);
   bool all_ok = true;
-  for (std::size_t n : sizes) {
-    const auto r = run_spec(spec, n);
-    print_result(spec, n, r, first);
-    first = false;
-    all_ok = all_ok && r.ok;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    print_report(specs[i], reports[i], csv, verbose, i == 0);
+    all_ok = all_ok && reports[i].ok;
   }
   return all_ok ? 0 : 1;
+}
+
+int cmd_protocols(Flags& f) {
+  f.reject_unknown();
+  for (const auto& name : scenario::ProtocolRegistry::global().names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
 }
 
 int cmd_params(Flags& f) {
@@ -284,8 +324,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   Flags flags(argc, argv, 2);
   try {
-    if (cmd == "run") return cmd_run(flags, /*sweep=*/false);
-    if (cmd == "sweep") return cmd_run(flags, /*sweep=*/true);
+    if (cmd == "run") return cmd_run(flags, /*sweep=*/false, false);
+    if (cmd == "sweep") return cmd_run(flags, /*sweep=*/true, false);
+    if (cmd == "spec") return cmd_run(flags, /*sweep=*/false, true);
+    if (cmd == "protocols") return cmd_protocols(flags);
     if (cmd == "params") return cmd_params(flags);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
