@@ -108,6 +108,38 @@ std::vector<Result> run_specs(const std::vector<scenario::ScenarioSpec>& specs,
   return out;
 }
 
+std::vector<FaultCase> fault_axis(const scenario::ScenarioSpec& base) {
+  const auto& info =
+      scenario::ProtocolRegistry::global().require(base.protocol);
+  const std::size_t t =
+      base.t == scenario::kAutoFaults ? info.default_faults(base.n) : base.t;
+  const auto ts = std::to_string(t);
+
+  std::vector<FaultCase> axis;
+  const auto add = [&](std::string name, const char* adversary,
+                       const char* byzantine, std::size_t crashes) {
+    FaultCase fc{std::move(name), base};
+    fc.spec.crashes = crashes;
+    fc.spec.adversary = scenario::parse_adversary(adversary);
+    fc.spec.byzantine = scenario::parse_byzantine(byzantine);
+    axis.push_back(std::move(fc));
+  };
+  add("fault-free", "none", "none", 0);
+  if (t >= 1) {
+    add("crash(" + ts + ")", "none", "none", t);
+    add("crash-after(50," + ts + ")", "none",
+        ("crash-after:50:" + ts).c_str(), 0);
+    add("garbage(64," + ts + ")", "none", ("garbage:64:" + ts).c_str(), 0);
+    add("targeted-lag(" + ts + ",100ms)",
+        ("targeted-lag:" + ts + ":100000").c_str(), "none", 0);
+    add("partition(" + ts + ",500ms)",
+        ("partition:" + ts + ":500000").c_str(), "none", 0);
+  }
+  add("random-delay(50ms)", "random-delay:50000", "none", 0);
+  add("burst(20ms)", "burst:20000", "none", 0);
+  return axis;
+}
+
 Result run_delphi(Testbed tb, std::size_t n, std::uint64_t seed,
                   const protocol::DelphiParams& params,
                   const std::vector<double>& inputs) {

@@ -78,6 +78,20 @@ scenario::ScenarioSpec dolev_spec(Testbed tb, std::size_t n,
 std::vector<Result> run_specs(const std::vector<scenario::ScenarioSpec>& specs,
                               unsigned jobs = 0);
 
+/// One labeled point on the standard fault axis.
+struct FaultCase {
+  std::string name;              ///< row label, e.g. "partition(t,500ms)"
+  scenario::ScenarioSpec spec;   ///< the base spec with the fault applied
+};
+
+/// The standard fault axis for sweeps: the base spec replicated under every
+/// declarative fault family (fault-free first, then crashes at the
+/// protocol's resilience bound t, both byzantine= behaviours, and all four
+/// adversary= strategies, each sized relative to t). Feed the specs straight
+/// into run_specs / SweepRunner — a fault dimension for any protocol × n
+/// grid (bench_fault_sweep is the canonical consumer).
+std::vector<FaultCase> fault_axis(const scenario::ScenarioSpec& base);
+
 /// Run Delphi on a testbed.
 Result run_delphi(Testbed tb, std::size_t n, std::uint64_t seed,
                   const protocol::DelphiParams& params,

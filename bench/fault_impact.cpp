@@ -4,79 +4,34 @@
 /// this bench measures what realized faults cost, and demonstrates the
 /// help-after-decide mechanism (a decided majority keeps echoing so a
 /// partitioned minority can finish — see delphi.cpp).
+///
+/// Every run is a declarative ScenarioSpec (crashes= / byzantine= /
+/// adversary= are first-class spec fields since the fault plane landed) and
+/// the whole grid executes through bench::run_specs — multi-core, in spec
+/// order, bit-identical to the historical serial loops.
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
-#include "sim/byzantine.hpp"
 
 using namespace delphi;
 using namespace delphi::bench;
+using scenario::ScenarioSpec;
 
 namespace {
 
-protocol::DelphiParams oracle_params() {
+/// The paper's AWS oracle deployment: delta = 20$ price workload (explicit
+/// inputs so the historical workload seed 41 is reproduced exactly).
+ScenarioSpec oracle_spec(std::size_t n, std::uint64_t seed,
+                         const std::vector<double>& inputs) {
   protocol::DelphiParams p;
   p.space_min = 0.0;
   p.space_max = 200'000.0;
   p.rho0 = 10.0;
   p.eps = 2.0;
   p.delta_max = 2000.0;
-  return p;
-}
-
-Result run_with_faults(std::size_t n, std::uint64_t seed,
-                       const protocol::DelphiParams& params,
-                       const std::vector<double>& inputs, std::size_t crashes,
-                       std::size_t sprayers) {
-  auto cfg = testbed_config(Testbed::kAws, n, seed);
-  std::set<NodeId> byz;
-  for (std::size_t i = 0; i < crashes + sprayers; ++i) {
-    byz.insert(static_cast<NodeId>(n - 1 - i));
-  }
-  auto outcome = sim::run_nodes(
-      cfg,
-      [&](NodeId i) -> std::unique_ptr<net::Protocol> {
-        if (i >= n - crashes) return std::make_unique<sim::SilentProtocol>();
-        if (i >= n - crashes - sprayers) {
-          return std::make_unique<sim::GarbageSprayProtocol>(2);
-        }
-        protocol::DelphiProtocol::Config c;
-        c.n = n;
-        c.t = max_faults(n);
-        c.params = params;
-        return std::make_unique<protocol::DelphiProtocol>(c, inputs[i]);
-      },
-      byz);
-  Result r;
-  r.ok = outcome.all_honest_terminated;
-  r.runtime_ms = static_cast<double>(outcome.metrics.honest_completion) / 1e3;
-  r.megabytes = static_cast<double>(outcome.honest_bytes) / 1e6;
-  r.messages = outcome.honest_msgs;
-  r.outputs = outcome.honest_outputs;
-  return r;
-}
-
-Result run_with_partition(std::size_t n, std::uint64_t seed,
-                          const protocol::DelphiParams& params,
-                          const std::vector<double>& inputs,
-                          SimTime heal_at) {
-  auto cfg = testbed_config(Testbed::kAws, n, seed);
-  std::set<NodeId> minority;
-  for (NodeId i = 0; i < max_faults(n); ++i) minority.insert(i);
-  cfg.adversary = std::make_shared<sim::PartitionAdversary>(minority, heal_at);
-  auto outcome = sim::run_nodes(cfg, [&](NodeId i) {
-    protocol::DelphiProtocol::Config c;
-    c.n = n;
-    c.t = max_faults(n);
-    c.params = params;
-    return std::make_unique<protocol::DelphiProtocol>(c, inputs[i]);
-  });
-  Result r;
-  r.ok = outcome.all_honest_terminated;
-  r.runtime_ms = static_cast<double>(outcome.metrics.honest_completion) / 1e3;
-  r.megabytes = static_cast<double>(outcome.honest_bytes) / 1e6;
-  return r;
+  auto spec = delphi_spec(Testbed::kAws, n, seed, p, inputs);
+  return spec;
 }
 
 }  // namespace
@@ -85,32 +40,41 @@ int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
   const std::size_t n = quick ? 16 : 31;
   const std::size_t t = max_faults(n);
-  const auto params = oracle_params();
   const auto inputs = clustered_inputs(n, 40'000.0, 20.0, 41);
 
   print_title("Fault impact — Delphi under realized faults",
               "AWS testbed, n = " + std::to_string(n) + " (t = " +
                   std::to_string(t) + "), delta = 20$ oracle workload.");
 
-  const std::vector<int> w = {30, 14, 12, 6};
-  print_row({"fault mix", "runtime_ms", "MB", "ok"}, w);
-
-  const auto baseline =
-      run_with_faults(n, 1, params, inputs, /*crashes=*/0, /*sprayers=*/0);
-  print_row({"fault-free", fmt(baseline.runtime_ms, 0),
-             fmt(baseline.megabytes, 2), baseline.ok ? "y" : "N"},
-            w);
+  // Declarative fault grid: fault-free baseline, escalating crash counts,
+  // and a crash + garbage-spray mix — one spec each.
+  std::vector<ScenarioSpec> fault_specs;
+  std::vector<std::string> fault_labels;
+  fault_specs.push_back(oracle_spec(n, 1, inputs));
+  fault_labels.push_back("fault-free");
   for (std::size_t f = 1; f <= t; f = (f >= t ? t + 1 : std::min(t, f * 2 + 1))) {
-    const auto r = run_with_faults(n, 1 + f, params, inputs, f, 0);
-    print_row({std::to_string(f) + " crashed", fmt(r.runtime_ms, 0),
-               fmt(r.megabytes, 2), r.ok ? "y" : "N"},
-              w);
+    auto spec = oracle_spec(n, 1 + f, inputs);
+    spec.crashes = f;
+    fault_specs.push_back(spec);
+    fault_labels.push_back(std::to_string(f) + " crashed");
   }
   {
-    const auto r = run_with_faults(n, 8, params, inputs, t / 2, t - t / 2);
-    print_row({std::to_string(t / 2) + " crashed + " +
-                   std::to_string(t - t / 2) + " garbage sprayers",
-               fmt(r.runtime_ms, 0), fmt(r.megabytes, 2), r.ok ? "y" : "N"},
+    auto spec = oracle_spec(n, 8, inputs);
+    spec.crashes = t / 2;
+    spec.byzantine = scenario::parse_byzantine(
+        "garbage:64:" + std::to_string(t - t / 2));
+    fault_specs.push_back(spec);
+    fault_labels.push_back(std::to_string(t / 2) + " crashed + " +
+                           std::to_string(t - t / 2) + " garbage sprayers");
+  }
+
+  const std::vector<int> w = {30, 14, 12, 6};
+  print_row({"fault mix", "runtime_ms", "MB", "ok"}, w);
+  const auto fault_results = run_specs(fault_specs);
+  for (std::size_t i = 0; i < fault_results.size(); ++i) {
+    const auto& r = fault_results[i];
+    print_row({fault_labels[i], fmt(r.runtime_ms, 0), fmt(r.megabytes, 2),
+               r.ok ? "y" : "N"},
               w);
   }
 
@@ -120,9 +84,17 @@ int main(int argc, char** argv) {
   const std::vector<SimTime> heals =
       quick ? std::vector<SimTime>{0, 2 * kSecond}
             : std::vector<SimTime>{0, kSecond, 2 * kSecond, 5 * kSecond};
+  std::vector<ScenarioSpec> heal_specs;
   for (SimTime heal : heals) {
-    const auto r = run_with_partition(n, 51, params, inputs, heal);
-    print_row({fmt(static_cast<double>(heal) / 1000.0, 0) + " ms",
+    auto spec = oracle_spec(n, 51, inputs);
+    spec.adversary = scenario::parse_adversary(
+        "partition:" + std::to_string(t) + ":" + std::to_string(heal));
+    heal_specs.push_back(spec);
+  }
+  const auto heal_results = run_specs(heal_specs);
+  for (std::size_t i = 0; i < heal_results.size(); ++i) {
+    const auto& r = heal_results[i];
+    print_row({fmt(static_cast<double>(heals[i]) / 1000.0, 0) + " ms",
                fmt(r.runtime_ms, 0), fmt(r.megabytes, 2), r.ok ? "y" : "N"},
               w);
   }

@@ -57,7 +57,17 @@ void AcsProtocol::on_message(net::Context& ctx, NodeId from,
       values_[j] = decode_value(rbcs_[j].value());
       if (!aba_input_given_[j]) {
         aba_input_given_[j] = true;
+        // start() can decide immediately off buffered traffic (e.g. a
+        // quorum of FINISHes arrived before our late RBC delivery — routine
+        // after a healed partition); that transition must be counted here
+        // exactly like the zero-fill path below, or decided_count_ sticks
+        // below n and the node never terminates.
+        const bool aba_was = abas_[j].decided();
         abas_[j].start(ctx, true);
+        if (!aba_was && abas_[j].decided()) {
+          ++decided_count_;
+          if (abas_[j].decision()) ++ones_count_;
+        }
       }
     }
   } else if (channel < 2 * n32) {

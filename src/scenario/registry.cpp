@@ -67,6 +67,7 @@ ProtocolInfo make_delphi_info() {
   info.make_decoder = [](const ScenarioSpec&) {
     return transport::decoders::delphi();
   };
+  info.param_keys = {"space-min", "space-max", "rho0", "eps", "delta-max"};
   return info;
 }
 
@@ -90,6 +91,7 @@ ProtocolInfo make_binaa_info() {
   info.make_decoder = [](const ScenarioSpec&) {
     return transport::decoders::binaa();
   };
+  info.param_keys = {"r-max", "compact"};
   return info;
 }
 
@@ -110,6 +112,7 @@ ProtocolInfo make_abraham_info() {
   info.make_decoder = [](const ScenarioSpec& spec) {
     return transport::decoders::abraham(spec.n);
   };
+  info.param_keys = {"rounds", "space-min", "space-max"};
   return info;
 }
 
@@ -133,6 +136,7 @@ ProtocolInfo make_dolev_info() {
   info.default_faults = [](std::size_t n) {
     return dolev::DolevProtocol::max_faults_5t(n);
   };
+  info.param_keys = {"rounds", "space-min", "space-max"};
   return info;
 }
 
@@ -154,6 +158,7 @@ ProtocolInfo make_benor_info() {
     return transport::decoders::benor();
   };
   info.default_faults = [](std::size_t n) { return (n - 1) / 5; };
+  info.param_keys = {"max-rounds"};
   return info;
 }
 
@@ -187,6 +192,7 @@ ProtocolInfo make_aba_info() {
       }
     }
   };
+  info.param_keys = {"coin-seed", "coin-us"};
   return info;
 }
 
@@ -223,6 +229,7 @@ ProtocolInfo make_rbc_info() {
       }
     }
   };
+  info.param_keys = {"broadcaster"};
   return info;
 }
 
@@ -247,6 +254,7 @@ ProtocolInfo make_acs_info() {
   info.make_decoder = [](const ScenarioSpec& spec) {
     return transport::decoders::acs(spec.n);
   };
+  info.param_keys = {"coin-seed", "coin-us"};
   return info;
 }
 
@@ -275,6 +283,7 @@ ProtocolInfo make_multidim_info() {
       }
     }
   };
+  info.param_keys = {"dims", "space-min", "space-max", "rho0", "eps", "delta-max"};
   return info;
 }
 
@@ -301,6 +310,7 @@ ProtocolInfo make_dora_info() {
   info.make_decoder = [](const ScenarioSpec&) {
     return transport::decoders::dora();
   };
+  info.param_keys = {"keys-seed", "sign-us", "verify-us", "space-min", "space-max", "rho0", "eps", "delta-max"};
   return info;
 }
 

@@ -51,6 +51,12 @@ struct ProtocolInfo {
   /// Default fault bound for system size n when spec.t == kAutoFaults.
   /// Defaults (when null) to max_faults(n) = (n-1)/3.
   std::function<std::size_t(std::size_t n)> default_faults;
+
+  /// Parameter keys this suite reads from spec.params, beyond the universal
+  /// substrate knobs (scenario::universal_param_keys()). Advertising them
+  /// lets ScenarioSpec::validate_params reject typo'd keys ("crashs=2")
+  /// instead of silently swallowing them.
+  std::vector<std::string> param_keys;
 };
 
 class ProtocolRegistry {

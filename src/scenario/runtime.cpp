@@ -15,11 +15,14 @@ namespace delphi::scenario {
 
 namespace {
 
-/// Resolve t (kAutoFaults → protocol default) and validate.
-ScenarioSpec resolve(const ScenarioSpec& spec, const ProtocolInfo& info) {
+/// Resolve t (kAutoFaults → protocol default) and validate (structure and
+/// parameter keys — a typo'd param must not silently change nothing).
+ScenarioSpec resolve(const ScenarioSpec& spec, const ProtocolRegistry& reg,
+                     const ProtocolInfo& info) {
   ScenarioSpec rs = spec;
   if (rs.t == kAutoFaults) rs.t = info.default_faults(rs.n);
   rs.validate();
+  rs.validate_params(reg);
   return rs;
 }
 
@@ -34,15 +37,70 @@ std::set<NodeId> crash_set(const ScenarioSpec& spec) {
   return ids;
 }
 
-/// Wrap the suite factory so crash-faulted placements get SilentProtocol.
-net::ProtocolFactory with_crashes(net::ProtocolFactory inner,
-                                  std::set<NodeId> crashed) {
-  if (crashed.empty()) return inner;
-  return [inner = std::move(inner),
-          crashed = std::move(crashed)](NodeId i) -> std::unique_ptr<net::Protocol> {
+/// Byzantine-behaviour placement: the `byzantine.k` ids directly below the
+/// crash block, so `crashes=1 byzantine=garbage:64:2` faults the top three.
+std::set<NodeId> byzantine_set(const ScenarioSpec& spec) {
+  std::set<NodeId> ids;
+  for (std::size_t i = 0; i < spec.byzantine.k; ++i) {
+    ids.insert(static_cast<NodeId>(spec.n - 1 - spec.crashes - i));
+  }
+  return ids;
+}
+
+/// Wrap the suite factory so faulted placements get their declared
+/// behaviour: SilentProtocol on crash ids, the spec'd Byzantine wrapper on
+/// byzantine ids, the honest suite everywhere else. Protocol-level wrapping,
+/// so the same factory runs on both substrates.
+net::ProtocolFactory with_faults(net::ProtocolFactory inner,
+                                 std::set<NodeId> crashed,
+                                 std::set<NodeId> byz, ByzantineSpec bz) {
+  if (crashed.empty() && byz.empty()) return inner;
+  return [inner = std::move(inner), crashed = std::move(crashed),
+          byz = std::move(byz),
+          bz](NodeId i) -> std::unique_ptr<net::Protocol> {
     if (crashed.contains(i)) return std::make_unique<sim::SilentProtocol>();
+    if (byz.contains(i)) {
+      switch (bz.kind) {
+        case ByzantineKind::kCrashAfter:
+          return std::make_unique<sim::CrashAfterProtocol>(inner(i), bz.param);
+        case ByzantineKind::kGarbage:
+          return std::make_unique<sim::GarbageSprayProtocol>(
+              2, static_cast<std::size_t>(bz.param));
+        case ByzantineKind::kNone:
+          break;
+      }
+    }
     return inner(i);
   };
+}
+
+/// Materialize the spec's network adversary (nullptr = benign network, the
+/// SimConfig default). Victim/minority groups are the *first* k ids —
+/// disjoint from the top-id fault placements, so `adversary=` composes with
+/// `crashes=` / `byzantine=` without attacking already-dead nodes.
+std::shared_ptr<sim::NetworkAdversary> make_adversary(
+    const AdversarySpec& a) {
+  std::set<NodeId> group;
+  for (std::uint64_t i = 0; i < a.k; ++i) {
+    group.insert(static_cast<NodeId>(i));
+  }
+  switch (a.kind) {
+    case AdversaryKind::kNone:
+      return nullptr;
+    case AdversaryKind::kRandomDelay:
+      return std::make_shared<sim::RandomDelayAdversary>(
+          static_cast<SimTime>(a.us));
+    case AdversaryKind::kTargetedLag:
+      return std::make_shared<sim::TargetedLagAdversary>(
+          std::move(group), static_cast<SimTime>(a.us));
+    case AdversaryKind::kPartition:
+      return std::make_shared<sim::PartitionAdversary>(
+          std::move(group), static_cast<SimTime>(a.us));
+    case AdversaryKind::kBurst:
+      return std::make_shared<sim::BurstReorderAdversary>(
+          static_cast<SimTime>(a.us));
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -75,21 +133,26 @@ sim::SimConfig testbed_config(TestbedKind tb, std::size_t n,
 RunReport SimRuntime::run(const ScenarioSpec& spec) {
   const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
   const auto& info = reg.require(spec.protocol);
-  const ScenarioSpec rs = resolve(spec, info);
+  const ScenarioSpec rs = resolve(spec, reg, info);
 
   auto cfg = testbed_config(rs.testbed, rs.n, rs.seed);
   cfg.auth_channels = rs.param("auth", 1.0) != 0.0;
   cfg.fifo_links = rs.param("fifo", 0.0) != 0.0;
+  cfg.adversary = make_adversary(rs.adversary);
 
   const auto crashed = crash_set(rs);
+  // All behaviourally-faulted placements: excluded from honest traffic,
+  // outputs, and termination accounting.
+  auto faulted = crashed;
+  faulted.merge(byzantine_set(rs));
   // The factory may own shared deployment state (coins, keys); it must
   // outlive the simulator, so it is declared first.
-  const auto factory =
-      with_crashes(info.make_factory(rs, rs.make_inputs()), crashed);
+  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
+                                   crashed, byzantine_set(rs), rs.byzantine);
 
   sim::Simulator sim(cfg);
   for (NodeId i = 0; i < rs.n; ++i) sim.add_node(factory(i));
-  sim.set_byzantine(crashed);
+  sim.set_byzantine(faulted);
 
   RunReport rep;
   rep.ok = sim.run();
@@ -103,7 +166,7 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
     const auto& m = sim.node_metrics(i);
     rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
                     m.malformed_dropped, m.terminated_at};
-    if (!crashed.contains(i)) {
+    if (!faulted.contains(i)) {
       if (m.terminated_at < 0) rep.unfinished.push_back(i);
       info.harvest(sim.node(i), rep.outputs);
     }
@@ -114,7 +177,13 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
 RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
   const auto& info = reg.require(spec.protocol);
-  const ScenarioSpec rs = resolve(spec, info);
+  const ScenarioSpec rs = resolve(spec, reg, info);
+  if (rs.adversary.kind != AdversaryKind::kNone) {
+    throw ConfigError(
+        "scenario: adversary= requires substrate=sim (the tcp network is "
+        "real and cannot be delay-scheduled); byzantine= and crashes= run on "
+        "both substrates");
+  }
 
   transport::TcpCluster::Options opts;
   opts.n = rs.n;
@@ -123,8 +192,10 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
 
   const auto crashed = crash_set(rs);
-  const auto factory =
-      with_crashes(info.make_factory(rs, rs.make_inputs()), crashed);
+  auto faulted = crashed;
+  faulted.merge(byzantine_set(rs));
+  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
+                                   crashed, byzantine_set(rs), rs.byzantine);
 
   transport::TcpCluster cluster(opts);
   const auto start = std::chrono::steady_clock::now();
@@ -141,14 +212,15 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
     const auto& m = cluster.metrics(i);
     rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
                     m.malformed_dropped, /*terminated_at=*/-1};
-    if (!crashed.contains(i)) {
+    if (!faulted.contains(i)) {
       rep.honest_bytes += m.bytes_sent;
       rep.honest_msgs += m.msgs_sent;
       info.harvest(cluster.protocol(i), rep.outputs);
     }
   }
-  // wait() reports crashed (SilentProtocol) nodes as done, so everything in
-  // unfinished() is an honest straggler.
+  // wait() reports faulted nodes as done (SilentProtocol and the Byzantine
+  // wrappers all claim terminated()), so everything in unfinished() is an
+  // honest straggler.
   rep.unfinished = cluster.unfinished();
   return rep;
 }

@@ -71,8 +71,12 @@ class Runtime {
 };
 
 /// Deterministic discrete-event simulation (spec.testbed selects the
-/// latency/cost models; spec params: fifo, auth). Protocols resolve via
-/// `registry` (nullptr = ProtocolRegistry::global()).
+/// latency/cost models; spec params: fifo, auth). Executes the full fault
+/// plane: spec.adversary becomes the SimConfig's NetworkAdversary and
+/// spec.byzantine / spec.crashes wrap the faulted placements' protocols —
+/// faulted runs keep the determinism contract (same spec + seed ⇒
+/// bit-identical RunReport). Protocols resolve via `registry` (nullptr =
+/// ProtocolRegistry::global()).
 class SimRuntime final : public Runtime {
  public:
   explicit SimRuntime(const ProtocolRegistry* registry = nullptr) noexcept
@@ -84,8 +88,11 @@ class SimRuntime final : public Runtime {
 };
 
 /// Real sockets on 127.0.0.1, one OS thread per node (spec params: auth,
-/// timeout-ms; testbed is ignored — the network is real). Protocols resolve
-/// via `registry` (nullptr = ProtocolRegistry::global()).
+/// timeout-ms; testbed is ignored — the network is real). Executes the
+/// protocol-wrapping faults (spec.crashes and every spec.byzantine kind);
+/// spec.adversary is rejected with ConfigError — a real network cannot be
+/// delay-scheduled. Protocols resolve via `registry` (nullptr =
+/// ProtocolRegistry::global()).
 class TcpRuntime final : public Runtime {
  public:
   explicit TcpRuntime(const ProtocolRegistry* registry = nullptr) noexcept

@@ -1,11 +1,15 @@
 #include "scenario/spec.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "scenario/registry.hpp"
 
 namespace delphi::scenario {
 
@@ -25,25 +29,152 @@ std::string fmt_double(double v) {
 
 double parse_double(const std::string& key, const std::string& value) {
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(value.c_str(), &end);
   if (end == value.c_str() || *end != '\0') {
     throw ConfigError("scenario: '" + key + "' expects a number, got '" +
                       value + "'");
   }
+  // ERANGE covers both overflow (±HUGE_VAL) and subnormal underflow; only
+  // overflow is a lie about the value's magnitude.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    throw ConfigError("scenario: '" + key + "' overflows a double: '" + value +
+                      "'");
+  }
+  if (std::isnan(v)) {
+    throw ConfigError("scenario: '" + key + "' must not be nan");
+  }
   return v;
 }
 
 std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  // strtoull silently negates a leading '-' (n=-3 wraps to ~2^64): reject
+  // signs up front so only plain digit strings pass.
+  if (value.empty() || !(value[0] >= '0' && value[0] <= '9')) {
+    throw ConfigError("scenario: '" + key +
+                      "' expects a non-negative integer, got '" + value + "'");
+  }
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
   if (end == value.c_str() || *end != '\0') {
     throw ConfigError("scenario: '" + key + "' expects an integer, got '" +
                       value + "'");
   }
+  if (errno == ERANGE) {
+    throw ConfigError("scenario: '" + key + "' overflows a 64-bit integer: '" +
+                      value + "'");
+  }
   return static_cast<std::uint64_t>(v);
 }
 
+/// Split a fault-field value on ':' — "crash-after:5:2" -> {crash-after,5,2}.
+std::vector<std::string> split_colon(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const auto colon = value.find(':', start);
+    parts.push_back(value.substr(start, colon - start));
+    if (colon == std::string::npos) return parts;
+    start = colon + 1;
+  }
+}
+
+[[noreturn]] void bad_adversary(const std::string& value) {
+  throw ConfigError(
+      "scenario: adversary must be none, random-delay:<max_us>, "
+      "targeted-lag:<k>:<lag_us>, partition:<k>:<heal_us> or "
+      "burst:<period_us>, got '" +
+      value + "'");
+}
+
+[[noreturn]] void bad_byzantine(const std::string& value) {
+  throw ConfigError(
+      "scenario: byzantine must be none, crash-after:<sends>:<k> or "
+      "garbage:<size>:<k>, got '" +
+      value + "'");
+}
+
 }  // namespace
+
+AdversarySpec parse_adversary(const std::string& value) {
+  const auto parts = split_colon(value);
+  AdversarySpec a;
+  const std::string& name = parts[0];
+  if (name == "none") {
+    if (parts.size() != 1) bad_adversary(value);
+    return a;
+  }
+  if (name == "random-delay" || name == "burst") {
+    if (parts.size() != 2) bad_adversary(value);
+    a.kind = name == "burst" ? AdversaryKind::kBurst
+                             : AdversaryKind::kRandomDelay;
+    a.us = parse_u64("adversary", parts[1]);
+  } else if (name == "targeted-lag" || name == "partition") {
+    if (parts.size() != 3) bad_adversary(value);
+    a.kind = name == "partition" ? AdversaryKind::kPartition
+                                 : AdversaryKind::kTargetedLag;
+    a.k = parse_u64("adversary", parts[1]);
+    a.us = parse_u64("adversary", parts[2]);
+  } else {
+    bad_adversary(value);
+  }
+  return a;
+}
+
+ByzantineSpec parse_byzantine(const std::string& value) {
+  const auto parts = split_colon(value);
+  ByzantineSpec b;
+  const std::string& name = parts[0];
+  if (name == "none") {
+    if (parts.size() != 1) bad_byzantine(value);
+    return b;
+  }
+  if (name == "crash-after" || name == "garbage") {
+    if (parts.size() != 3) bad_byzantine(value);
+    b.kind = name == "garbage" ? ByzantineKind::kGarbage
+                               : ByzantineKind::kCrashAfter;
+    b.param = parse_u64("byzantine", parts[1]);
+    b.k = parse_u64("byzantine", parts[2]);
+  } else {
+    bad_byzantine(value);
+  }
+  return b;
+}
+
+std::string to_string(const AdversarySpec& a) {
+  switch (a.kind) {
+    case AdversaryKind::kNone:
+      return "none";
+    case AdversaryKind::kRandomDelay:
+      return "random-delay:" + std::to_string(a.us);
+    case AdversaryKind::kTargetedLag:
+      return "targeted-lag:" + std::to_string(a.k) + ":" + std::to_string(a.us);
+    case AdversaryKind::kPartition:
+      return "partition:" + std::to_string(a.k) + ":" + std::to_string(a.us);
+    case AdversaryKind::kBurst:
+      return "burst:" + std::to_string(a.us);
+  }
+  return "none";
+}
+
+std::string to_string(const ByzantineSpec& b) {
+  switch (b.kind) {
+    case ByzantineKind::kNone:
+      return "none";
+    case ByzantineKind::kCrashAfter:
+      return "crash-after:" + std::to_string(b.param) + ":" +
+             std::to_string(b.k);
+    case ByzantineKind::kGarbage:
+      return "garbage:" + std::to_string(b.param) + ":" + std::to_string(b.k);
+  }
+  return "none";
+}
+
+const std::vector<std::string>& universal_param_keys() {
+  static const std::vector<std::string> keys = {"auth", "fifo", "timeout-ms"};
+  return keys;
+}
 
 const char* to_string(Substrate s) noexcept {
   return s == Substrate::kSim ? "sim" : "tcp";
@@ -84,8 +215,88 @@ void ScenarioSpec::validate() const {
   if (protocol.empty()) throw ConfigError("scenario: empty protocol name");
   if (n < 1) throw ConfigError("scenario: n must be >= 1");
   if (crashes >= n) throw ConfigError("scenario: crashes must be < n");
+  // Wrap-free form of crashes + byzantine.k < n: a byzantine.k near 2^64
+  // must not slip past the bound by overflowing the sum.
+  if (byzantine.k >= n - crashes) {
+    throw ConfigError("scenario: crashes + byzantine nodes must be < n");
+  }
+  if (adversary.kind == AdversaryKind::kTargetedLag ||
+      adversary.kind == AdversaryKind::kPartition) {
+    if (adversary.k < 1 || adversary.k >= n) {
+      throw ConfigError(
+          "scenario: adversary victim/group size k must be in 1..n-1");
+    }
+  }
+  if (adversary.kind == AdversaryKind::kBurst && adversary.us < 1) {
+    throw ConfigError("scenario: burst adversary period must be >= 1 us");
+  }
+  if (byzantine.kind == ByzantineKind::kGarbage && byzantine.param < 1) {
+    throw ConfigError("scenario: garbage message size must be >= 1 byte");
+  }
   if (!inputs.empty() && inputs.size() != n) {
     throw ConfigError("scenario: explicit inputs size != n");
+  }
+}
+
+namespace {
+
+/// Classic O(|a|·|b|) Levenshtein distance — small strings only (key names).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t prev = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t cur = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      prev = cur;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Fixed spec fields — candidates for "did you mean" on top of the
+/// protocol's parameter keys (a typo'd fixed key lands in params too).
+const std::vector<std::string>& fixed_spec_keys() {
+  static const std::vector<std::string> keys = {
+      "protocol", "substrate", "testbed",   "n",     "t",      "crashes",
+      "adversary", "byzantine", "seed",     "center", "delta", "inputs"};
+  return keys;
+}
+
+}  // namespace
+
+void ScenarioSpec::validate_params(const ProtocolRegistry& reg) const {
+  const auto* info = reg.find(protocol);
+  if (info == nullptr) return;  // require() reports unknown protocols
+  std::vector<std::string> known = info->param_keys;
+  known.insert(known.end(), universal_param_keys().begin(),
+               universal_param_keys().end());
+  for (const auto& [key, value] : params) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    // Suggest the closest known key (params, universal knobs, or a fixed
+    // field the typo was probably aiming at).
+    std::vector<std::string> candidates = known;
+    candidates.insert(candidates.end(), fixed_spec_keys().begin(),
+                      fixed_spec_keys().end());
+    std::string best;
+    std::size_t best_dist = std::string::npos;
+    for (const auto& cand : candidates) {
+      const auto d = edit_distance(key, cand);
+      if (d < best_dist) {
+        best_dist = d;
+        best = cand;
+      }
+    }
+    std::string msg = "scenario: unknown parameter '" + key +
+                      "' for protocol '" + protocol + "'";
+    if (best_dist <= 2) msg += " (did you mean '" + best + "'?)";
+    std::sort(known.begin(), known.end());
+    msg += "; valid keys:";
+    for (const auto& k : known) msg += " " + k;
+    throw ConfigError(msg);
   }
 }
 
@@ -102,6 +313,14 @@ std::string ScenarioSpec::to_text() const {
     os << t;
   }
   os << " crashes=" << crashes;
+  // Fault fields are omitted when inactive so pre-fault-plane spec text (and
+  // the goldens pinned to it) is reproduced byte-for-byte.
+  if (adversary.kind != AdversaryKind::kNone) {
+    os << " adversary=" << to_string(adversary);
+  }
+  if (byzantine.kind != ByzantineKind::kNone) {
+    os << " byzantine=" << to_string(byzantine);
+  }
   os << " seed=" << seed;
   os << " center=" << fmt_double(center);
   os << " delta=" << fmt_double(delta);
@@ -159,6 +378,10 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
                    : static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "crashes") {
       spec.crashes = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "adversary") {
+      spec.adversary = parse_adversary(value);
+    } else if (key == "byzantine") {
+      spec.byzantine = parse_byzantine(value);
     } else if (key == "seed") {
       spec.seed = parse_u64(key, value);
     } else if (key == "center") {
@@ -180,6 +403,10 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
     }
   }
   spec.validate();
+  // Typos must not silently vanish into params: hand-written text is checked
+  // against the built-in registry (custom-registry protocols validate at run
+  // time via the runtime's registry instead).
+  spec.validate_params(ProtocolRegistry::global());
   return spec;
 }
 

@@ -14,11 +14,20 @@
 ///   protocol=delphi substrate=sim testbed=aws n=16 t=auto crashes=0 seed=1
 ///   center=40000 delta=20 rho0=10 eps=2 delta-max=2000
 ///
+/// Fault plane (both optional; omitted when inactive — see SCENARIOS.md
+/// "Fault models" for semantics and substrate support):
+///
+///   adversary=none | random-delay:<max_us> | targeted-lag:<k>:<lag_us>
+///           | partition:<k>:<heal_us> | burst:<period_us>
+///   byzantine=none | crash-after:<sends>:<k> | garbage:<size>:<k>
+///
 /// Reserved keys are the fixed fields below; every other key is a numeric
-/// protocol parameter collected into `params` (the registry entry for the
-/// protocol decides which ones it reads — unknown parameters are ignored, so
-/// one sweep file can drive several protocols). `inputs=v0,v1,...` pins
-/// explicit per-node inputs instead of the clustered-workload generator.
+/// protocol parameter collected into `params`. Parameter keys are validated
+/// against the protocol's registry entry (plus the universal substrate knobs
+/// auth / fifo / timeout-ms), so a typo like `crashs=2` is a ConfigError
+/// with a "did you mean" suggestion instead of a silent no-op.
+/// `inputs=v0,v1,...` pins explicit per-node inputs instead of the
+/// clustered-workload generator.
 /// Serialization is canonical: fixed fields first, then params in key order,
 /// then inputs — `from_text(to_text(s)) == s` exactly (doubles are printed
 /// with round-trip precision).
@@ -49,6 +58,70 @@ enum class TestbedKind {
 inline constexpr std::size_t kAutoFaults =
     std::numeric_limits<std::size_t>::max();
 
+class ProtocolRegistry;
+
+/// Network-level adversary strategy (sim substrate only — the asynchronous
+/// model's arbitrary-but-finite delay/reorder power, sim/adversary.hpp).
+enum class AdversaryKind {
+  kNone,         ///< benign network
+  kRandomDelay,  ///< uniform extra delay in [0, us] on every message
+  kTargetedLag,  ///< +us delay on all traffic touching nodes 0..k-1
+  kPartition,    ///< cut between nodes 0..k-1 and the rest until time us
+  kBurst,        ///< hold + LIFO-release messages in us-sized windows
+};
+
+/// Declarative network-adversary description; text form
+/// `none | random-delay:<max_us> | targeted-lag:<k>:<lag_us> |
+///  partition:<k>:<heal_us> | burst:<period_us>`.
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::kNone;
+  /// Victim/minority group size: the *first* k node ids (targeted-lag,
+  /// partition). Honest nodes — the adversary attacks the network, not them.
+  std::uint64_t k = 0;
+  /// The strategy's time knob in simulated µs: max extra delay
+  /// (random-delay), lag (targeted-lag), heal time (partition), window
+  /// period (burst).
+  std::uint64_t us = 0;
+
+  bool operator==(const AdversarySpec&) const = default;
+};
+
+/// Byzantine node behaviour applied to the faulted placements (generic
+/// strategies from sim/byzantine.hpp; protocol-wrapping, so they run on both
+/// substrates).
+enum class ByzantineKind {
+  kNone,        ///< no behavioural faults beyond `crashes`
+  kCrashAfter,  ///< run honestly, go silent after `param` outgoing messages
+  kGarbage,     ///< spray undecodable junk frames of size <= `param` bytes
+};
+
+/// Declarative Byzantine-behaviour description; text form
+/// `none | crash-after:<sends>:<k> | garbage:<size>:<k>`.
+struct ByzantineSpec {
+  ByzantineKind kind = ByzantineKind::kNone;
+  /// Behaviour knob: outgoing-message budget (crash-after) or max junk
+  /// message size in bytes (garbage).
+  std::uint64_t param = 0;
+  /// How many nodes misbehave: placed at the top ids directly below the
+  /// `crashes` block.
+  std::uint64_t k = 0;
+
+  bool operator==(const ByzantineSpec&) const = default;
+};
+
+/// Parse the `adversary=` / `byzantine=` value grammars; throws ConfigError
+/// naming the accepted forms on malformed input.
+AdversarySpec parse_adversary(const std::string& value);
+ByzantineSpec parse_byzantine(const std::string& value);
+
+/// Canonical text of a fault field ("none" when inactive).
+std::string to_string(const AdversarySpec& a);
+std::string to_string(const ByzantineSpec& b);
+
+/// Substrate knobs every protocol accepts (auth, fifo, timeout-ms) — always
+/// legal `params` keys in addition to a registry entry's `param_keys`.
+const std::vector<std::string>& universal_param_keys();
+
 struct ScenarioSpec {
   /// Registered protocol name (scenario/registry.hpp).
   std::string protocol = "delphi";
@@ -61,6 +134,12 @@ struct ScenarioSpec {
   /// Crash-faulted nodes (silent from the start), placed at the top ids —
   /// the fault model of the paper's crash experiments.
   std::size_t crashes = 0;
+  /// Network-level adversary (sim only; TcpRuntime rejects anything but
+  /// kNone — the real network is not schedulable).
+  AdversarySpec adversary;
+  /// Byzantine node behaviour for `byzantine.k` nodes directly below the
+  /// `crashes` block (both substrates — the wrappers are protocol-level).
+  ByzantineSpec byzantine;
   /// Master seed: network randomness, per-node RNG streams, coin session.
   std::uint64_t seed = 1;
 
@@ -88,9 +167,16 @@ struct ScenarioSpec {
   /// Throws ConfigError if explicit inputs don't match n.
   std::vector<double> make_inputs() const;
 
-  /// Basic structural validation (n >= 1, crashes < n, protocol non-empty);
-  /// protocol-level constraints are checked by the protocol configs.
+  /// Basic structural validation (n >= 1, crashes + byzantine.k < n, fault
+  /// fields well-formed, protocol non-empty); protocol-level constraints
+  /// are checked by the protocol configs.
   void validate() const;
+
+  /// Reject params keys the protocol's registry entry does not advertise
+  /// (and that are not universal substrate knobs), with a "did you mean"
+  /// suggestion. No-op for protocols `reg` does not know — require() names
+  /// those later with the full protocol list.
+  void validate_params(const ProtocolRegistry& reg) const;
 
   /// Canonical text form (see file header).
   std::string to_text() const;

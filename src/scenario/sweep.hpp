@@ -11,6 +11,11 @@
 ///
 /// TCP-substrate specs already spawn n threads each, so they are executed
 /// serially on the calling thread instead of multiplying the pool.
+///
+/// Fault dimensions sweep like any other: specs differing only in
+/// adversary= / byzantine= / crashes= are independent deterministic runs
+/// (bench::fault_axis builds the standard labeled grid; bench_fault_sweep
+/// is the canonical fault × protocol × n consumer).
 
 #include <vector>
 

@@ -57,7 +57,8 @@ void GarbageSprayProtocol::spray(net::Context& ctx) {
   for (std::size_t i = 0; i < spray_; ++i) {
     const auto to = static_cast<NodeId>(ctx.rng().below(ctx.n()));
     const auto channel = static_cast<std::uint32_t>(ctx.rng().below(64));
-    const auto size = static_cast<std::size_t>(ctx.rng().range(1, 64));
+    const auto size = static_cast<std::size_t>(
+        ctx.rng().range(1, static_cast<std::int64_t>(max_size_)));
     ctx.send(to, channel, std::make_shared<GarbageMessage>(size));
     ++sent_;
   }

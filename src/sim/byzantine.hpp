@@ -62,8 +62,12 @@ class CrashAfterProtocol final : public net::Protocol {
 class GarbageSprayProtocol final : public net::Protocol {
  public:
   /// \param spray_per_delivery  messages emitted per received message.
-  explicit GarbageSprayProtocol(std::size_t spray_per_delivery = 2)
-      : spray_(spray_per_delivery) {}
+  /// \param max_size            junk sizes are drawn uniformly in
+  ///                            [1, max_size] bytes (the default keeps the
+  ///                            historical draw sequence bit-for-bit).
+  explicit GarbageSprayProtocol(std::size_t spray_per_delivery = 2,
+                                std::size_t max_size = 64)
+      : spray_(spray_per_delivery), max_size_(max_size) {}
 
   void on_start(net::Context& ctx) override { spray(ctx); }
   void on_message(net::Context& ctx, NodeId, std::uint32_t,
@@ -75,6 +79,7 @@ class GarbageSprayProtocol final : public net::Protocol {
  private:
   void spray(net::Context& ctx);
   std::size_t spray_;
+  std::size_t max_size_;
   std::uint64_t sent_ = 0;
 };
 

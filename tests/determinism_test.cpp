@@ -13,6 +13,7 @@
 #include "acs/acs.hpp"
 #include "crypto/coin.hpp"
 #include "delphi/delphi.hpp"
+#include "scenario/runtime.hpp"
 #include "sim/harness.hpp"
 #include "tests/test_util.hpp"
 
@@ -187,6 +188,33 @@ TEST(Determinism, FinAcsBitIdenticalAcrossRuns) {
   const auto b = trace_run(cps_config(n, 21, false, true), factory);
   EXPECT_TRUE(a.all_honest_terminated);
   expect_identical(a, b, "fin-acs");
+}
+
+TEST(Determinism, DeclarativeFaultPlaneBitIdentical) {
+  // The whole fault plane through the scenario layer: network adversary +
+  // Byzantine behaviour + crash, declared in the spec. Same spec + seed must
+  // reproduce the unified RunReport exactly — the PR-2 determinism contract
+  // extends to every faulted run (adversary draws share the network RNG, and
+  // Byzantine wrappers draw from the node's own stream).
+  for (const char* adversary :
+       {"random-delay:40000", "targeted-lag:2:60000", "partition:2:300000",
+        "burst:15000"}) {
+    for (const char* byzantine : {"crash-after:20:1", "garbage:32:1"}) {
+      SCOPED_TRACE(std::string(adversary) + " / " + byzantine);
+      scenario::ScenarioSpec spec;
+      spec.protocol = "delphi";
+      spec.testbed = scenario::TestbedKind::kCps;
+      spec.n = 9;
+      spec.seed = 17;
+      spec.crashes = 1;
+      spec.adversary = scenario::parse_adversary(adversary);
+      spec.byzantine = scenario::parse_byzantine(byzantine);
+      const auto a = scenario::SimRuntime().run(spec);
+      const auto b = scenario::SimRuntime().run(spec);
+      EXPECT_TRUE(a.ok);
+      EXPECT_EQ(a, b);  // RunReport == is field-exact
+    }
+  }
 }
 
 TEST(Determinism, AdversarialScheduleBitIdentical) {

@@ -9,6 +9,9 @@
 ///                     --n 64 [--delta 20] [--center 40000] [--seed 1]
 ///                     [--crashes 0] [--t auto] [--rho0 10] [--eps 2]
 ///                     [--delta-max 2000] [--rounds 10] [--csv] [--verbose]
+///                     [--adversary random-delay:50000] [--byzantine garbage:64:2]
+///                     (any protocol can be attacked: adversary= delays/reorders
+///                     the simulated network, byzantine= wraps faulted nodes)
 ///   delphi_cli run    --spec 'protocol=dolev n=8 rounds=6 ...'
 ///   delphi_cli sweep  same flags, --n taking a comma list: --n 16,64,112
 ///                     [--jobs J]   (J worker threads; 0 = all cores)
@@ -22,6 +25,7 @@
 /// Testbeds: aws | cps | async | fast (sim substrate; tcp is real I/O).
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +33,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -47,6 +52,9 @@ namespace {
   delphi_cli run   --protocol NAME --transport sim|tcp
                    --testbed aws|cps|async|fast --n N
                    [--delta D] [--center C] [--seed S] [--crashes K] [--t T]
+                   [--adversary none|random-delay:<max_us>|targeted-lag:<k>:<lag_us>
+                               |partition:<k>:<heal_us>|burst:<period_us>]
+                   [--byzantine none|crash-after:<sends>:<k>|garbage:<size>:<k>]
                    [--rho0 R] [--eps E] [--delta-max DM] [--space-max SM]
                    [--rounds R] [--jobs J] [--csv] [--verbose]
   delphi_cli run   --spec 'protocol=... n=... key=value ...' [--csv]
@@ -98,6 +106,23 @@ class Flags {
       usage(("--" + key + " expects a number").c_str());
     }
     return v;
+  }
+
+  /// Non-negative integer flag: rejects signs and fractions up front so
+  /// --n -3 errors instead of double→size_t wrapping (UB).
+  std::uint64_t unum(const std::string& key, std::uint64_t dflt) {
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) return dflt;
+    const std::string& s = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || !(s[0] >= '0' && s[0] <= '9') || end == s.c_str() ||
+        *end != '\0' || errno == ERANGE) {
+      usage(("--" + key + " expects a non-negative integer").c_str());
+    }
+    return static_cast<std::uint64_t>(v);
   }
 
   bool flag(const std::string& key) {
@@ -167,26 +192,47 @@ ScenarioSpec parse_spec(Flags& f) {
   const bool aws = tb != "cps";
   spec.center = f.num("center", aws ? 40'000.0 : 1000.0);
   spec.delta = f.num("delta", aws ? 20.0 : 5.0);
-  spec.seed = static_cast<std::uint64_t>(f.num("seed", 1.0));
-  spec.crashes = static_cast<std::size_t>(f.num("crashes", 0.0));
+  spec.seed = f.unum("seed", 1);
+  spec.crashes = static_cast<std::size_t>(f.unum("crashes", 0));
+  spec.adversary = scenario::parse_adversary(f.str("adversary", "none"));
+  spec.byzantine = scenario::parse_byzantine(f.str("byzantine", "none"));
   const std::string t = f.str("t", "auto");
   if (t != "auto") {
     char* end = nullptr;
     const unsigned long v = std::strtoul(t.c_str(), &end, 10);
-    if (end == t.c_str() || *end != '\0') usage("--t expects auto or a count");
+    if (t.empty() || !(t[0] >= '0' && t[0] <= '9') || end == t.c_str() ||
+        *end != '\0') {
+      usage("--t expects auto or a count");
+    }
     spec.t = static_cast<std::size_t>(v);
   }
-  spec.params["space-min"] = f.num("space-min", 0.0);
-  spec.params["space-max"] = f.num("space-max", aws ? 200'000.0 : 2000.0);
-  spec.params["rho0"] = f.num("rho0", aws ? 10.0 : 0.5);
-  spec.params["eps"] = f.num("eps", aws ? 2.0 : 0.5);
-  spec.params["delta-max"] = f.num("delta-max", aws ? 2000.0 : 50.0);
-  spec.params["rounds"] = f.num("rounds", 10.0);
+  // The protocol's registry entry advertises which parameter keys it reads:
+  // per-testbed defaults land only on protocols that read them, while
+  // explicitly given flags always land (spec validation rejects typos with a
+  // "did you mean" suggestion).
+  const auto* info = scenario::ProtocolRegistry::global().find(spec.protocol);
+  const auto knows = [&](const std::string& key) {
+    return info != nullptr &&
+           std::find(info->param_keys.begin(), info->param_keys.end(), key) !=
+               info->param_keys.end();
+  };
+  const std::pair<const char*, double> defaulted[] = {
+      {"space-min", 0.0},
+      {"space-max", aws ? 200'000.0 : 2000.0},
+      {"rho0", aws ? 10.0 : 0.5},
+      {"eps", aws ? 2.0 : 0.5},
+      {"delta-max", aws ? 2000.0 : 50.0},
+      {"rounds", 10.0},
+  };
+  for (const auto& [key, dflt] : defaulted) {
+    const double v = f.num(key, dflt);
+    if (f.has(key) || knows(key)) spec.params[key] = v;
+  }
   // Optional knobs land in params only when given (registry entries default
   // the rest per protocol).
   for (const char* key : {"r-max", "dims", "coin-us", "coin-seed", "max-rounds",
-                          "timeout-ms", "auth", "fifo", "broadcaster",
-                          "sign-us", "verify-us", "keys-seed"}) {
+                          "timeout-ms", "auth", "fifo", "compact",
+                          "broadcaster", "sign-us", "verify-us", "keys-seed"}) {
     if (f.has(key)) spec.params[key] = f.num(key, 0.0);
   }
   return spec;
@@ -248,12 +294,12 @@ int cmd_run(Flags& f, bool sweep, bool print_spec_only) {
   if (f.has("n")) {
     sizes = sweep ? f.sizes("n")
                   : std::vector<std::size_t>{
-                        static_cast<std::size_t>(f.num("n", 16.0))};
+                        static_cast<std::size_t>(f.unum("n", 16))};
   } else {
-    f.num("n", 0.0);  // consume
+    f.unum("n", 0);  // consume
     sizes = {spec.n};
   }
-  const auto jobs = static_cast<unsigned>(f.num("jobs", 0.0));
+  const auto jobs = static_cast<unsigned>(f.unum("jobs", 0));
   const bool csv = f.flag("csv");
   const bool verbose = f.flag("verbose");
   f.reject_unknown();
