@@ -1,0 +1,334 @@
+/// Real-socket TCP data-plane throughput — the substrate behind the paper's
+/// fig6a/6b deployments. Two sections:
+///
+///   1. Broadcast fan-out cost: the per-destination price of framing one
+///      payload for many links — the legacy path (fresh encode + full HMAC
+///      key schedule per destination, what the pre-overhaul data plane did)
+///      against the shared-body + precomputed-HmacKey path, in the same
+///      binary, so the PR-5 before/after ratio is re-measured on every run.
+///   2. Link flood: a windowed credit protocol saturates the authenticated
+///      TCP mesh with fixed-size broadcast frames and measures delivered
+///      frames/s and MB/s (payload size x auth on/off x n).
+///   3. Scenario sweep: protocol x n x auth through ScenarioSpec/TcpRuntime —
+///      the end-to-end numbers every future TCP scenario inherits.
+///
+/// Emitted through bench/run_all.sh as BENCH_tcp_throughput.json so the TCP
+/// axis can no longer rot invisibly.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "transport/decoders.hpp"
+#include "transport/tcp.hpp"
+
+using namespace delphi;
+using namespace delphi::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ------------------------------------------------------------- flood suite
+
+/// Fixed-size opaque payload (channel 0).
+class FloodMsg final : public net::MessageBody {
+ public:
+  explicit FloodMsg(std::size_t size) : size_(size) {}
+  std::size_t wire_size() const override { return size_; }
+  void serialize(ByteWriter& w) const override {
+    for (std::size_t i = 0; i < size_; ++i) {
+      w.u8(static_cast<std::uint8_t>(i));
+    }
+  }
+  std::string debug() const override { return "flood"; }
+
+ private:
+  std::size_t size_;
+};
+
+/// Cumulative-count receiver ack (channel 1).
+class AckMsg final : public net::MessageBody {
+ public:
+  explicit AckMsg(std::uint32_t count) : count_(count) {}
+  std::uint32_t count() const { return count_; }
+  std::size_t wire_size() const override { return 4; }
+  void serialize(ByteWriter& w) const override { w.u32(count_); }
+  std::string debug() const override { return "ack"; }
+
+ private:
+  std::uint32_t count_;
+};
+
+constexpr std::uint32_t kDataChannel = 0;
+constexpr std::uint32_t kAckChannel = 1;
+constexpr std::uint32_t kWindow = 512;  ///< max unacked broadcasts in flight
+constexpr std::uint32_t kAckEvery = 128;
+
+transport::Decoder flood_decoder() {
+  return [](std::uint32_t channel, ByteReader& r) -> net::MessagePtr {
+    if (channel == kAckChannel) return std::make_shared<AckMsg>(r.u32());
+    const std::size_t size = r.remaining();
+    r.raw(size);
+    return std::make_shared<FloodMsg>(size);
+  };
+}
+
+/// Node 0 broadcasts `total` payloads under a credit window; every receiver
+/// acks each kAckEvery-th frame with its cumulative count.
+class FloodSender final : public net::Protocol {
+ public:
+  FloodSender(std::uint32_t total, std::size_t payload)
+      : total_(total), payload_(payload) {}
+
+  void on_start(net::Context& ctx) override {
+    acked_.assign(ctx.n(), 0);
+    acked_[ctx.self()] = total_;  // self needs no credit
+    pump(ctx);
+  }
+
+  void on_message(net::Context& ctx, NodeId from, std::uint32_t channel,
+                  const net::MessageBody& body) override {
+    if (channel != kAckChannel) return;  // self-delivered data frame
+    const auto& ack = dynamic_cast<const AckMsg&>(body);
+    if (ack.count() > acked_[from]) acked_[from] = ack.count();
+    pump(ctx);
+  }
+
+  bool terminated() const override { return done_; }
+
+ private:
+  void pump(net::Context& ctx) {
+    std::uint32_t floor = total_;
+    for (const std::uint32_t a : acked_) floor = std::min(floor, a);
+    while (sent_ < total_ && sent_ - floor < kWindow) {
+      ctx.broadcast(kDataChannel, std::make_shared<FloodMsg>(payload_));
+      ++sent_;
+    }
+    done_ = floor == total_;
+  }
+
+  std::uint32_t total_;
+  std::size_t payload_;
+  std::uint32_t sent_ = 0;
+  std::vector<std::uint32_t> acked_;
+  bool done_ = false;
+};
+
+class FloodReceiver final : public net::Protocol {
+ public:
+  explicit FloodReceiver(std::uint32_t total) : total_(total) {}
+
+  void on_start(net::Context&) override {}
+
+  void on_message(net::Context& ctx, NodeId from, std::uint32_t channel,
+                  const net::MessageBody&) override {
+    if (channel != kDataChannel) return;
+    ++got_;
+    if (got_ % kAckEvery == 0 || got_ == total_) {
+      ctx.send(from, kAckChannel, std::make_shared<AckMsg>(got_));
+    }
+  }
+
+  bool terminated() const override { return got_ >= total_; }
+
+ private:
+  std::uint32_t total_;
+  std::uint32_t got_ = 0;
+};
+
+struct FloodResult {
+  bool ok = false;
+  double wall_s = 0.0;
+  std::uint64_t frames = 0;  ///< data frames delivered across all receivers
+  std::uint64_t bytes = 0;   ///< framed bytes the sender put on the wire
+};
+
+FloodResult run_flood(std::size_t n, std::size_t payload, bool auth,
+                      std::uint32_t total) {
+  transport::TcpCluster::Options opts;
+  opts.n = n;
+  opts.auth = auth;
+  opts.seed = 42;
+  opts.timeout_ms = 120'000;
+  transport::TcpCluster cluster(opts);
+  const auto t0 = Clock::now();
+  cluster.start(
+      [&](NodeId i) -> std::unique_ptr<net::Protocol> {
+        if (i == 0) return std::make_unique<FloodSender>(total, payload);
+        return std::make_unique<FloodReceiver>(total);
+      },
+      flood_decoder());
+  FloodResult res;
+  res.ok = cluster.wait();
+  res.wall_s = seconds_since(t0);
+  if (res.ok) {
+    res.frames = static_cast<std::uint64_t>(n - 1) * total;
+    res.bytes = cluster.metrics(0).bytes_sent;
+  }
+  return res;
+}
+
+// --------------------------------------------------------- fan-out section
+
+/// ns per destination for framing one `payload_size`-byte broadcast to
+/// `fanout` authenticated links, legacy vs shared-body path.
+struct FanoutCost {
+  double legacy_ns = 0.0;
+  double shared_ns = 0.0;
+};
+
+FanoutCost measure_fanout(std::size_t payload_size, std::size_t fanout,
+                          std::size_t iters) {
+  const std::vector<std::uint8_t> payload(payload_size, 0x5A);
+  crypto::KeyStore keys(/*master=*/7, fanout + 1);
+  std::vector<crypto::HmacKey> links;  // per-link midstates, derived once
+  for (std::size_t j = 0; j < fanout; ++j) {
+    links.emplace_back(keys.channel_key(0, static_cast<NodeId>(j + 1)));
+  }
+
+  FanoutCost cost;
+  std::uint64_t sink = 0;
+  {
+    // Legacy: every destination re-encodes the frame and re-runs the full
+    // HMAC key schedule (ipad/opad absorption) — per-destination work.
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      for (std::size_t j = 0; j < fanout; ++j) {
+        const auto frame = transport::encode_frame(
+            3, payload, &keys.channel_key(0, static_cast<NodeId>(j + 1)));
+        sink += frame.back();
+      }
+    }
+    cost.legacy_ns =
+        seconds_since(t0) * 1e9 / static_cast<double>(iters * fanout);
+  }
+  {
+    // Shared body: one serialization, per-destination work is two
+    // compression finishes on the precomputed midstates.
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto body = transport::encode_frame_body(3, payload, true);
+      for (std::size_t j = 0; j < fanout; ++j) {
+        const auto tag = transport::frame_tag(links[j], *body);
+        sink += tag[31];
+      }
+    }
+    cost.shared_ns =
+        seconds_since(t0) * 1e9 / static_cast<double>(iters * fanout);
+  }
+  if (sink == 0xFFFFFFFF) std::printf("~");  // defeat dead-code elimination
+  return cost;
+}
+
+// ---------------------------------------------------------- scenario suite
+
+scenario::ScenarioSpec protocol_spec(const std::string& protocol,
+                                     std::size_t n, bool auth) {
+  scenario::ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.substrate = scenario::Substrate::kTcp;
+  spec.n = n;
+  spec.seed = 7;
+  spec.params["auth"] = auth ? 1.0 : 0.0;
+  spec.params["timeout-ms"] = 120'000;
+  if (protocol == "dolev") spec.params["rounds"] = 6;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  print_title("TCP data-plane throughput (real localhost sockets)",
+              "Flood: windowed broadcast of fixed-size frames; sweep: "
+              "protocol x n x auth through ScenarioSpec/TcpRuntime.");
+
+  int failures = 0;
+
+  // ---- broadcast fan-out cost ------------------------------------------
+  std::printf("\n-- broadcast fan-out: ns/destination, authenticated (%s) --\n",
+              crypto::sha256_hw_accelerated() ? "SHA-NI" : "scalar SHA-256");
+  const std::vector<int> cw = {8, 8, 14, 14, 10};
+  print_row({"payload", "fanout", "legacy ns", "shared ns", "speedup"}, cw);
+  const std::size_t fan_iters = quick ? 5'000 : 20'000;
+  for (const std::size_t payload : {64u, 1024u}) {
+    for (const std::size_t fanout : {4u, 16u}) {
+      const auto c = measure_fanout(payload, fanout, fan_iters);
+      print_row({std::to_string(payload), std::to_string(fanout),
+                 fmt(c.legacy_ns, 0), fmt(c.shared_ns, 0),
+                 fmt(c.legacy_ns / c.shared_ns, 2) + "x"},
+                cw);
+    }
+  }
+
+  // ---- link flood -------------------------------------------------------
+  std::printf("\n-- link flood (node 0 broadcasts, %u-frame window) --\n",
+              kWindow);
+  const std::vector<int> fw = {6, 10, 6, 10, 10, 12, 10};
+  print_row({"n", "payload", "auth", "frames", "wall s", "frames/s", "MB/s"},
+            fw);
+  struct FloodCase {
+    std::size_t n;
+    std::size_t payload;
+    bool auth;
+  };
+  const std::vector<FloodCase> cases = {
+      {2, 64, true},   {2, 64, false}, {2, 1024, true},
+      {4, 64, true},   {4, 64, false}, {4, 1024, true},
+  };
+  for (const auto& c : cases) {
+    const std::uint32_t total = quick ? 15'000 : 60'000;
+    const auto r = run_flood(c.n, c.payload, c.auth, total);
+    if (!r.ok) ++failures;
+    const double fps = r.ok ? static_cast<double>(r.frames) / r.wall_s : 0.0;
+    const double mbs =
+        r.ok ? static_cast<double>(r.bytes) / (1e6 * r.wall_s) : 0.0;
+    print_row({std::to_string(c.n), std::to_string(c.payload),
+               c.auth ? "on" : "off", fmt_int(r.frames), fmt(r.wall_s, 3),
+               fmt_int(static_cast<std::uint64_t>(fps)), fmt(mbs, 1)},
+              fw);
+  }
+
+  // ---- protocol sweep ---------------------------------------------------
+  std::printf("\n-- protocol sweep over TcpRuntime --\n");
+  const std::vector<int> sw = {10, 6, 6, 12, 10, 12, 10};
+  print_row({"protocol", "n", "auth", "runtime ms", "MB", "frames/s", "ok"},
+            sw);
+  const std::vector<std::string> protocols =
+      quick ? std::vector<std::string>{"dolev", "delphi"}
+            : std::vector<std::string>{"dolev", "rbc", "delphi"};
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 7};
+  for (const auto& protocol : protocols) {
+    for (const std::size_t n : sizes) {
+      for (const bool auth : {true, false}) {
+        const auto spec = protocol_spec(protocol, n, auth);
+        const auto rep = scenario::TcpRuntime().run(spec);
+        if (!rep.ok) ++failures;
+        const double fps =
+            rep.ok && rep.runtime_ms > 0.0
+                ? static_cast<double>(rep.honest_msgs) / (rep.runtime_ms / 1e3)
+                : 0.0;
+        print_row({protocol, std::to_string(n), auth ? "on" : "off",
+                   fmt(rep.runtime_ms, 2),
+                   fmt(static_cast<double>(rep.honest_bytes) / 1e6, 3),
+                   fmt_int(static_cast<std::uint64_t>(fps)),
+                   rep.ok ? "yes" : "NO"},
+                  sw);
+      }
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("\n%d run(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall runs ok\n");
+  return 0;
+}

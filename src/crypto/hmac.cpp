@@ -7,8 +7,7 @@
 
 namespace delphi::crypto {
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> data) noexcept {
+HmacKey::HmacKey(std::span<const std::uint8_t> key) {
   std::array<std::uint8_t, 64> k_block{};
   if (key.size() > 64) {
     const Digest kd = sha256(key);
@@ -17,22 +16,43 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
     std::copy(key.begin(), key.end(), k_block.begin());
   }
 
-  std::array<std::uint8_t, 64> ipad{};
-  std::array<std::uint8_t, 64> opad{};
+  std::array<std::uint8_t, 64> pad{};
   for (std::size_t i = 0; i < 64; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+    pad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
   }
+  inner_.update(pad);
+  for (std::size_t i = 0; i < 64; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+  outer_.update(pad);
+}
 
-  Sha256 inner;
-  inner.update(ipad);
+HmacKey::HmacKey(const Key& key)
+    : HmacKey(std::span<const std::uint8_t>(key.data(), key.size())) {}
+
+Digest HmacKey::tag(std::span<const std::uint8_t> data) const noexcept {
+  Sha256 inner = inner_;  // copy the midstate, not the key schedule
   inner.update(data);
   const Digest inner_digest = inner.finalize();
-
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer = outer_;
   outer.update(inner_digest);
   return outer.finalize();
+}
+
+Digest HmacKey::tag(std::span<const std::uint8_t> a,
+                    std::span<const std::uint8_t> b) const noexcept {
+  Sha256 inner = inner_;
+  inner.update(a);
+  inner.update(b);
+  const Digest inner_digest = inner.finalize();
+  Sha256 outer = outer_;
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> data) noexcept {
+  return HmacKey(key).tag(data);
 }
 
 Digest hmac_sha256(const Key& key, std::span<const std::uint8_t> data) noexcept {

@@ -35,6 +35,32 @@ bool digest_equal(const Digest& a, const Digest& b) noexcept;
 /// Size in bytes of the authentication tag appended to every wire message.
 inline constexpr std::size_t kMacTagSize = 32;
 
+/// Precomputed HMAC-SHA256 state for one key: the ipad/opad SHA-256
+/// midstates are derived once at construction, so each tag() costs two
+/// compression-function finishes instead of a full key schedule plus two
+/// pad absorptions per MAC. This is the per-link authentication state the
+/// TCP data plane keeps per connection (one HMAC key schedule per link
+/// lifetime, not per frame). Produces tags identical to hmac_sha256().
+class HmacKey {
+ public:
+  explicit HmacKey(const Key& key);
+  explicit HmacKey(std::span<const std::uint8_t> key);
+
+  /// HMAC-SHA256 tag over `data`.
+  Digest tag(std::span<const std::uint8_t> data) const noexcept;
+
+  /// Tag over the concatenation a || b without materializing it — for
+  /// callers whose MAC input lives in two discontiguous buffers. (The frame
+  /// codec itself MACs one contiguous span: channel + payload are adjacent
+  /// in the encoded body.)
+  Digest tag(std::span<const std::uint8_t> a,
+             std::span<const std::uint8_t> b) const noexcept;
+
+ private:
+  Sha256 inner_;  ///< midstate after absorbing key ^ ipad
+  Sha256 outer_;  ///< midstate after absorbing key ^ opad
+};
+
 /// Derives and caches pairwise channel keys and per-node signing keys from a
 /// master secret. Symmetric: key(i, j) == key(j, i).
 class KeyStore {

@@ -3,6 +3,11 @@
 /// From-scratch SHA-256 (FIPS 180-4). No external crypto dependency is
 /// available offline, and the paper's implementation uses SHA-256-based HMACs
 /// for its authenticated channels, so we carry our own.
+///
+/// The compression function is selected once at runtime: on x86-64 CPUs with
+/// the SHA extensions the SHA-NI kernel runs (~10x the scalar code, the
+/// dominant cost of every authenticated TCP frame); everywhere else the
+/// portable scalar kernel is used. Both produce identical digests.
 
 #include <array>
 #include <cstdint>
@@ -39,13 +44,15 @@ class Sha256 {
   Digest finalize() noexcept;
 
  private:
-  void compress(const std::uint8_t* block) noexcept;
-
   std::array<std::uint32_t, 8> h_;
   std::array<std::uint8_t, 64> buf_;
   std::size_t buf_len_ = 0;
   std::uint64_t total_len_ = 0;
 };
+
+/// True when the runtime-selected compression kernel uses CPU SHA extensions
+/// (benchmarks and logs report which path perf numbers were taken on).
+bool sha256_hw_accelerated() noexcept;
 
 /// One-shot hash of a byte span.
 Digest sha256(std::span<const std::uint8_t> data) noexcept;

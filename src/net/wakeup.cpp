@@ -1,0 +1,57 @@
+#include "net/wakeup.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#define DELPHI_HAVE_EVENTFD 1
+#include <sys/eventfd.h>
+#endif
+
+namespace delphi::net {
+
+WakeupFd::WakeupFd() {
+#ifdef DELPHI_HAVE_EVENTFD
+  read_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (read_fd_ < 0) {
+    throw Error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  write_fd_ = read_fd_;
+#else
+  int fds[2];
+  if (::pipe(fds) < 0) {
+    throw Error(std::string("pipe: ") + std::strerror(errno));
+  }
+  for (const int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  read_fd_ = fds[0];
+  write_fd_ = fds[1];
+#endif
+}
+
+WakeupFd::~WakeupFd() {
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+void WakeupFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter/pipe is already saturated — the poller is
+  // already pending wakeup, which is all a signal has to guarantee.
+  [[maybe_unused]] const auto n = ::write(write_fd_, &one, sizeof(one));
+}
+
+void WakeupFd::drain() noexcept {
+  std::uint64_t buf[8];
+  while (::read(read_fd_, buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace delphi::net

@@ -1,0 +1,46 @@
+#pragma once
+/// \file wakeup.hpp
+/// WakeupFd — a pollable cross-thread wakeup primitive for event loops.
+///
+/// An event loop that blocks in poll(2) on its sockets has no way to notice
+/// work arriving from another thread (a stop request, a termination
+/// notification) except by waking on a timeout tick — which puts a fixed
+/// latency floor under every cross-thread signal and burns wakeups while
+/// idle. A WakeupFd closes that gap: the loop adds fd() to its poll set and
+/// blocks indefinitely; any thread calls signal() to make the fd readable
+/// and the poll return immediately; the loop calls drain() to reset it.
+///
+/// Backed by eventfd(2) on Linux (one fd, one counter word) and a
+/// non-blocking self-pipe elsewhere. signal() and drain() never block and
+/// are safe to call concurrently from any thread; coalescing is inherent
+/// (n signals before a drain wake the poller at least once, exactly as a
+/// level-triggered readiness bit should).
+
+#include <cstdint>
+
+namespace delphi::net {
+
+class WakeupFd {
+ public:
+  /// Throws Error if the kernel refuses an fd pair.
+  WakeupFd();
+  ~WakeupFd();
+
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  /// The fd to add to a poll set with POLLIN.
+  int fd() const noexcept { return read_fd_; }
+
+  /// Make fd() readable, waking any poller. Callable from any thread.
+  void signal() noexcept;
+
+  /// Consume all pending signals so the next poll blocks again.
+  void drain() noexcept;
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;  ///< equals read_fd_ on the eventfd path
+};
+
+}  // namespace delphi::net

@@ -190,6 +190,7 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   opts.auth = rs.param("auth", 1.0) != 0.0;
   opts.seed = rs.seed;
   opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
+  opts.nodelay = rs.param("nodelay", 1.0) != 0.0;
 
   const auto crashed = crash_set(rs);
   auto faulted = crashed;

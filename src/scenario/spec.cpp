@@ -172,7 +172,8 @@ std::string to_string(const ByzantineSpec& b) {
 }
 
 const std::vector<std::string>& universal_param_keys() {
-  static const std::vector<std::string> keys = {"auth", "fifo", "timeout-ms"};
+  static const std::vector<std::string> keys = {"auth", "fifo", "nodelay",
+                                               "timeout-ms"};
   return keys;
 }
 

@@ -6,8 +6,10 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -27,6 +29,26 @@ using Clock = std::chrono::steady_clock;
 /// real peer's connection would already have been rejected as a duplicate).
 constexpr std::uint32_t kHelloMagic = 0x44504849;  // "IHPD" LE == "DPHI"
 constexpr std::size_t kHelloPrefixSize = 8;
+
+/// Frames gathered per writev(2): the portable IOV_MAX floor (1024 entries
+/// = up to 512 authenticated frames per syscall). The iovec array is pooled
+/// per node, so the only cost of a large gather is the syscalls it saves.
+constexpr std::size_t kMaxIovs = 1024;
+
+/// Frames at most this large (body + tag) are memcpy'd into a pooled
+/// staging buffer so a run of small frames becomes ONE iovec — the kernel's
+/// per-iovec bookkeeping costs more than copying ~a hundred bytes. Larger
+/// bodies are referenced zero-copy.
+constexpr std::size_t kStageFrameLimit = 256;
+
+/// Staged bytes gathered per writev attempt. Caps the copy work done per
+/// syscall so a deep backlog behind a slow receiver costs O(backlog) total
+/// staging, not O(backlog²) — one writev drains about a socket buffer
+/// (~208 KiB default), so re-staging at most this much per attempt keeps
+/// the repeated-copy overhead near constant. Also the pooled capacity of
+/// stage_, reserved once, so mid-gather reallocation (which would
+/// invalidate iovec pointers) cannot happen.
+constexpr std::size_t kStageByteBudget = 256 * 1024;
 
 std::size_t hello_size(bool auth) {
   return kHelloPrefixSize + (auth ? crypto::kMacTagSize : 0);
@@ -134,7 +156,8 @@ class TcpCluster::Node final : public net::Context {
  public:
   Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
        const std::vector<std::uint16_t>& ports, int listen_fd,
-       std::unique_ptr<net::Protocol> protocol, Decoder decoder)
+       std::unique_ptr<net::Protocol> protocol, Decoder decoder,
+       net::WakeupFd& done_wake)
       : self_(self),
         opts_(opts),
         keys_(keys),
@@ -142,13 +165,19 @@ class TcpCluster::Node final : public net::Context {
         listen_fd_(listen_fd),
         protocol_(std::move(protocol)),
         decoder_(std::move(decoder)),
+        done_wake_(done_wake),
         rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))) {
-    peers_.reserve(opts_.n);
+    peers_.resize(opts_.n);
     for (NodeId j = 0; j < opts_.n; ++j) {
-      const crypto::Key* key =
-          (opts_.auth && j != self_) ? &keys_.channel_key(self_, j) : nullptr;
-      peers_.emplace_back(key);
+      if (opts_.auth && j != self_) {
+        // One HMAC key schedule per link lifetime: the midstates serve both
+        // outgoing tags and the parser's verification.
+        Peer& p = peers_[j];
+        p.mac.emplace(keys_.channel_key(self_, j));
+        p.parser = FrameParser(&*p.mac);
+      }
     }
+    rbuf_.resize(64 * 1024);
   }
 
   ~Node() override {
@@ -174,19 +203,18 @@ class TcpCluster::Node final : public net::Context {
       local_.emplace_back(channel, std::move(msg));
       return;
     }
-    ByteWriter w(msg->wire_size());
-    msg->serialize(w);
-    enqueue_frame(to, channel, w.data());
+    enqueue_frame(to, encode_frame_body(channel, *msg, opts_.auth));
   }
 
   void broadcast(std::uint32_t channel, net::MessagePtr msg) override {
-    ByteWriter w(msg->wire_size());
-    msg->serialize(w);
+    // One serialization for all destinations: the body (length prefix +
+    // channel + payload) is immutable and shared; only per-link tags differ.
+    const SharedFrameBody body = encode_frame_body(channel, *msg, opts_.auth);
     for (NodeId j = 0; j < opts_.n; ++j) {
       if (j == self_) {
         local_.emplace_back(channel, msg);
       } else {
-        enqueue_frame(j, channel, w.data());
+        enqueue_frame(j, body);
       }
     }
   }
@@ -208,34 +236,54 @@ class TcpCluster::Node final : public net::Context {
     } catch (const std::exception& e) {
       error_ = e.what();
     }
+    // A thread that exits un-terminated is dead for good; wake wait() so it
+    // can fail fast instead of sleeping out the whole deadline.
+    exited.store(true, std::memory_order_release);
+    done_wake_.signal();
   }
 
+  /// Interrupt this node's (possibly indefinite) poll. Any thread.
+  void wake() noexcept { wake_.signal(); }
+
   std::atomic<bool> done{false};
+  /// This node's thread has returned from run() (error or stop).
+  std::atomic<bool> exited{false};
 
   net::Protocol& protocol() { return *protocol_; }
   const TransportMetrics& metrics() const { return metrics_; }
   const std::string& error() const { return error_; }
 
  private:
-  struct Peer {
-    explicit Peer(const crypto::Key* key) : parser(key) {}
-
-    int fd = -1;
-    FrameParser parser;
-    /// Pending outgoing bytes (already framed); out_pos consumed prefix.
-    std::vector<std::uint8_t> out;
-    std::size_t out_pos = 0;
+  /// One queued outbound frame: the shared destination-independent body and
+  /// this link's MAC tag (meaningful only on authenticated links).
+  struct PendingFrame {
+    SharedFrameBody body;
+    crypto::Digest tag;
   };
 
-  void enqueue_frame(NodeId to, std::uint32_t channel,
-                     std::span<const std::uint8_t> payload) {
+  struct Peer {
+    int fd = -1;
+    /// Precomputed pairwise HMAC midstates (send tags + parser verify).
+    std::optional<crypto::HmacKey> mac;
+    FrameParser parser;
+    std::deque<PendingFrame> outq;
+    /// Bytes of outq.front() already on the wire (may point into the tag).
+    std::size_t front_written = 0;
+    /// Last writev hit EAGAIN: wait for POLLOUT instead of re-trying.
+    bool blocked = false;
+  };
+
+  void enqueue_frame(NodeId to, const SharedFrameBody& body) {
     Peer& p = peers_[to];
-    const crypto::Key* key =
-        opts_.auth ? &keys_.channel_key(self_, to) : nullptr;
-    const auto frame = encode_frame(channel, payload, key);
-    p.out.insert(p.out.end(), frame.begin(), frame.end());
+    // Counted at enqueue (matches the simulator's send-time accounting and
+    // the pre-overhaul data plane), even if the link has died since.
     ++metrics_.msgs_sent;
-    metrics_.bytes_sent += frame.size();
+    metrics_.bytes_sent += frame_wire_size(*body, p.mac.has_value());
+    if (p.fd < 0) return;  // link closed: bytes would never reach the wire
+    PendingFrame pf;
+    pf.body = body;
+    if (p.mac.has_value()) pf.tag = frame_tag(*p.mac, *body);
+    p.outq.push_back(std::move(pf));
   }
 
   /// Establish the full mesh: connect to every lower id, accept from every
@@ -248,7 +296,7 @@ class TcpCluster::Node final : public net::Context {
       const crypto::Key* key =
           opts_.auth ? &keys_.channel_key(self_, j) : nullptr;
       write_all(fd, encode_hello(self_, key));
-      set_nodelay(fd);
+      if (opts_.nodelay) set_nodelay(fd);
       set_nonblocking(fd);
       peers_[j].fd = fd;
     }
@@ -264,15 +312,17 @@ class TcpCluster::Node final : public net::Context {
     while (expected > 0 && !stop.load(std::memory_order_relaxed)) {
       if (Clock::now() >= deadline) throw Error("tcp: mesh setup timeout");
       std::vector<pollfd> fds;
+      fds.push_back({wake_.fd(), POLLIN, 0});
       fds.push_back({listen_fd_, POLLIN, 0});
       for (const auto& ph : pending) fds.push_back({ph.fd, POLLIN, 0});
       ::poll(fds.data(), fds.size(), 10);
+      if (fds[0].revents != 0) wake_.drain();  // stop re-checked above
 
       // New connections.
       while (true) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) break;
-        set_nodelay(fd);
+        if (opts_.nodelay) set_nodelay(fd);
         set_nonblocking(fd);
         pending.push_back({fd, {}});
       }
@@ -342,46 +392,64 @@ class TcpCluster::Node final : public net::Context {
   void note_termination() {
     if (!done.load(std::memory_order_relaxed) && protocol_->terminated()) {
       done.store(true, std::memory_order_release);
+      done_wake_.signal();  // wait() blocks on this instead of a timer
     }
   }
 
+  /// Event-driven main loop: write everything writable, then block in
+  /// poll(2) — without a timeout — until socket activity or a wakeup
+  /// signal. No sleep ticks anywhere.
   void event_loop(const std::atomic<bool>& stop) {
-    std::vector<std::uint8_t> rbuf(64 * 1024);
     while (!stop.load(std::memory_order_relaxed)) {
-      std::vector<pollfd> fds;
-      std::vector<NodeId> owner;
+      flush_pending();
+
+      pollfds_.clear();
+      owners_.clear();
+      pollfds_.push_back({wake_.fd(), POLLIN, 0});
+      owners_.push_back(self_);  // placeholder, index-aligned with pollfds_
       for (NodeId j = 0; j < opts_.n; ++j) {
         Peer& p = peers_[j];
         if (p.fd < 0) continue;
         short events = POLLIN;
-        if (p.out_pos < p.out.size()) events |= POLLOUT;
-        fds.push_back({p.fd, events, 0});
-        owner.push_back(j);
+        if (p.blocked && !p.outq.empty()) events |= POLLOUT;
+        pollfds_.push_back({p.fd, events, 0});
+        owners_.push_back(j);
       }
-      if (fds.empty()) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        continue;
+      if (::poll(pollfds_.data(), pollfds_.size(), -1) < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("poll");
       }
-      ::poll(fds.data(), fds.size(), 5);
+      if (pollfds_[0].revents != 0) wake_.drain();  // stop re-checked above
 
-      for (std::size_t i = 0; i < fds.size(); ++i) {
-        Peer& p = peers_[owner[i]];
+      for (std::size_t i = 1; i < pollfds_.size(); ++i) {
+        Peer& p = peers_[owners_[i]];
         if (p.fd < 0) continue;
-        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
-          read_peer(owner[i], p, rbuf);
+        if (pollfds_[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+          read_peer(owners_[i], p);
         }
-        if (p.fd >= 0 && (fds[i].revents & POLLOUT)) flush_peer(p);
+        if (p.fd >= 0 && (pollfds_[i].revents & POLLOUT)) {
+          p.blocked = false;
+          flush_peer(p);
+        }
         drain_local();
       }
       note_termination();
     }
   }
 
-  void read_peer(NodeId from, Peer& p, std::vector<std::uint8_t>& rbuf) {
+  /// Opportunistic write pass: one gathered writev per peer with pending
+  /// frames (peers that already hit EAGAIN wait for POLLOUT instead).
+  void flush_pending() {
+    for (auto& p : peers_) {
+      if (p.fd >= 0 && !p.blocked && !p.outq.empty()) flush_peer(p);
+    }
+  }
+
+  void read_peer(NodeId from, Peer& p) {
     while (true) {
-      const ssize_t k = ::read(p.fd, rbuf.data(), rbuf.size());
+      const ssize_t k = ::read(p.fd, rbuf_.data(), rbuf_.size());
       if (k > 0) {
-        p.parser.feed({rbuf.data(), static_cast<std::size_t>(k)});
+        p.parser.feed({rbuf_.data(), static_cast<std::size_t>(k)});
         pump_frames(from, p);
         if (p.fd < 0) return;  // stream poisoned during pump
         continue;
@@ -395,9 +463,11 @@ class TcpCluster::Node final : public net::Context {
 
   void pump_frames(NodeId from, Peer& p) {
     while (true) {
-      std::optional<Frame> f;
+      std::optional<FrameView> f;
       try {
-        f = p.parser.next();
+        // Zero-copy: the view borrows the parser's buffer; the decoder
+        // reads straight out of it, no per-frame payload vector.
+        f = p.parser.next_view();
       } catch (const Error&) {
         // Framing/MAC broken: the byte stream is unrecoverable.
         ++metrics_.malformed_dropped;
@@ -418,20 +488,94 @@ class TcpCluster::Node final : public net::Context {
     }
   }
 
+  /// Gather queued frames (shared bodies + per-link tags) into iovecs and
+  /// push them with as few writev(2) calls as the socket accepts.
   void flush_peer(Peer& p) {
-    while (p.out_pos < p.out.size()) {
+    const std::size_t tag_len =
+        p.mac.has_value() ? crypto::kMacTagSize : 0;
+    while (!p.outq.empty()) {
+      iov_.clear();
+      stage_.clear();
+
+      // The (possibly partially written) front frame goes out directly.
+      auto it = p.outq.begin();
+      {
+        const auto& body = *it->body;
+        std::size_t skip = p.front_written;
+        if (skip < body.size()) {
+          iov_.push_back({const_cast<std::uint8_t*>(body.data()) + skip,
+                          body.size() - skip});
+          skip = 0;
+        } else {
+          skip -= body.size();
+        }
+        if (tag_len > 0 && skip < tag_len) {
+          iov_.push_back({const_cast<std::uint8_t*>(it->tag.data()) + skip,
+                          tag_len - skip});
+        }
+        ++it;
+      }
+
+      // Fixed staging capacity: iovecs point into stage_, so it must not
+      // reallocate while the gather is being built; the gather loop stops
+      // before exceeding it.
+      stage_.reserve(kStageByteBudget);
+
+      // Gather the rest: small frames extend the current staged run (one
+      // iovec per run), large bodies are referenced zero-copy.
+      bool run_open = false;
+      for (auto jt = it; jt != p.outq.end(); ++jt) {
+        if (iov_.size() + 2 > kMaxIovs) break;
+        const auto& body = *jt->body;
+        const std::size_t total = body.size() + tag_len;
+        if (total <= kStageFrameLimit) {
+          if (stage_.size() + total > kStageByteBudget) break;
+          const std::size_t off = stage_.size();
+          stage_.insert(stage_.end(), body.begin(), body.end());
+          if (tag_len > 0) {
+            stage_.insert(stage_.end(), jt->tag.begin(),
+                          jt->tag.begin() + tag_len);
+          }
+          if (run_open) {
+            iov_.back().iov_len += total;
+          } else {
+            iov_.push_back({stage_.data() + off, total});
+            run_open = true;
+          }
+        } else {
+          iov_.push_back(
+              {const_cast<std::uint8_t*>(body.data()), body.size()});
+          if (tag_len > 0) {
+            iov_.push_back(
+                {const_cast<std::uint8_t*>(jt->tag.data()), tag_len});
+          }
+          run_open = false;
+        }
+      }
       const ssize_t k =
-          ::write(p.fd, p.out.data() + p.out_pos, p.out.size() - p.out_pos);
+          ::writev(p.fd, iov_.data(), static_cast<int>(iov_.size()));
       if (k > 0) {
-        p.out_pos += static_cast<std::size_t>(k);
+        advance_outq(p, static_cast<std::size_t>(k), tag_len);
         continue;
       }
-      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        p.blocked = true;
+        return;
+      }
       close_link(p);
       return;
     }
-    p.out.clear();
-    p.out_pos = 0;
+  }
+
+  /// Retire fully-written frames after a writev of `written` bytes.
+  void advance_outq(Peer& p, std::size_t written, std::size_t tag_len) {
+    p.front_written += written;
+    while (!p.outq.empty()) {
+      const std::size_t frame_total = p.outq.front().body->size() + tag_len;
+      if (p.front_written < frame_total) break;
+      p.front_written -= frame_total;
+      p.outq.pop_front();
+    }
   }
 
   void close_link(Peer& p) {
@@ -439,6 +583,9 @@ class TcpCluster::Node final : public net::Context {
       ::close(p.fd);
       p.fd = -1;
     }
+    p.outq.clear();
+    p.front_written = 0;
+    p.blocked = false;
   }
 
   NodeId self_;
@@ -448,9 +595,18 @@ class TcpCluster::Node final : public net::Context {
   int listen_fd_;
   std::unique_ptr<net::Protocol> protocol_;
   Decoder decoder_;
+  net::WakeupFd& done_wake_;
+  net::WakeupFd wake_;
   Rng rng_;
   std::vector<Peer> peers_;
   std::deque<std::pair<std::uint32_t, net::MessagePtr>> local_;
+  /// Pooled scratch reused across the node's lifetime (no per-iteration or
+  /// per-read allocations in the steady state).
+  std::vector<std::uint8_t> rbuf_;
+  std::vector<pollfd> pollfds_;
+  std::vector<NodeId> owners_;
+  std::vector<iovec> iov_;
+  std::vector<std::uint8_t> stage_;
   TransportMetrics metrics_;
   std::string error_;
 };
@@ -463,10 +619,15 @@ TcpCluster::TcpCluster(Options opts)
 }
 
 TcpCluster::~TcpCluster() {
-  stop_.store(true);
+  request_stop();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
+}
+
+void TcpCluster::request_stop() {
+  stop_.store(true);
+  for (auto& node : nodes_) node->wake();
 }
 
 void TcpCluster::start(const ProtocolFactory& factory, Decoder decoder) {
@@ -482,7 +643,7 @@ void TcpCluster::start(const ProtocolFactory& factory, Decoder decoder) {
   for (NodeId i = 0; i < opts_.n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_,
                                             listen_fds[i], factory(i),
-                                            decoder));
+                                            decoder, done_wake_));
   }
   threads_.reserve(opts_.n);
   for (NodeId i = 0; i < opts_.n; ++i) {
@@ -494,19 +655,31 @@ bool TcpCluster::wait() {
   DELPHI_ASSERT(started_, "TcpCluster: wait() before start()");
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(opts_.timeout_ms);
-  bool all_done = false;
-  while (Clock::now() < deadline) {
-    all_done = true;
+  // Block on the done wakeup-fd (nodes signal termination transitions and
+  // thread exits) instead of polling flags on a timer.
+  while (true) {
+    bool all_done = true;
+    bool dead_node = false;
     for (const auto& node : nodes_) {
-      if (!node->done.load(std::memory_order_acquire)) {
-        all_done = false;
-        break;
-      }
+      if (node->done.load(std::memory_order_acquire)) continue;
+      all_done = false;
+      // An exited-but-unterminated node (mesh failure, protocol exception)
+      // can never become done, so the run's outcome is already a fixed
+      // false — fail fast instead of sleeping out the deadline.
+      if (node->exited.load(std::memory_order_acquire)) dead_node = true;
     }
-    if (all_done) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (all_done || dead_node) break;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd pfd{done_wake_.fd(), POLLIN, 0};
+    // Clamped so arbitrarily large timeouts can't overflow poll's int arg;
+    // the loop re-checks the deadline after every wakeup anyway.
+    ::poll(&pfd, 1,
+           static_cast<int>(std::min<std::int64_t>(remaining.count(), 60'000)));
+    done_wake_.drain();
   }
-  stop_.store(true);
+  request_stop();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }

@@ -9,9 +9,18 @@
 ///     reachable addresses;
 ///   * length-framed, HMAC-SHA256-authenticated links (transport/frame.hpp)
 ///     with pairwise keys from crypto::KeyStore — the paper's authenticated
-///     channels;
-///   * one thread per node, poll(2)-driven non-blocking I/O; each node's
-///     protocol runs strictly single-threaded (the Protocol contract);
+///     channels; per-link HMAC midstates are derived once at connection
+///     setup (crypto::HmacKey), so a frame tag costs two compression
+///     finishes, not a key schedule;
+///   * one thread per node, poll(2)-driven non-blocking I/O with no timeout
+///     ticks: loops block until socket activity or a wakeup-fd signal
+///     (net/wakeup.hpp) and cross-thread stop/termination notifications are
+///     event-driven, so idle nodes burn no CPU and shutdown is immediate;
+///   * broadcasts encode the frame body once and share the immutable buffer
+///     across all n-1 links (only the per-link MAC differs); pending frames
+///     are gathered into a single writev(2) per ready socket;
+///   * each node's protocol runs strictly single-threaded (the Protocol
+///     contract);
 ///   * TCP gives per-link FIFO, so fifo-dependent codecs are sound here.
 ///
 /// Unlike the simulator, messages here are *really* serialized, framed,
@@ -32,6 +41,7 @@
 
 #include "crypto/hmac.hpp"
 #include "net/protocol.hpp"
+#include "net/wakeup.hpp"
 #include "transport/frame.hpp"
 
 namespace delphi::transport {
@@ -67,6 +77,9 @@ class TcpCluster {
     std::uint64_t seed = 1;
     /// wait() gives up after this many milliseconds of wall time.
     std::int64_t timeout_ms = 30'000;
+    /// Disable Nagle's algorithm on every link (latency over batching; the
+    /// scenario layer exposes this as the `nodelay` param).
+    bool nodelay = true;
   };
 
   /// Shared factory alias from net/protocol.hpp (same type the simulator
@@ -107,6 +120,9 @@ class TcpCluster {
  private:
   class Node;
 
+  /// Set the stop flag and wake every node's event loop (idempotent).
+  void request_stop();
+
   Options opts_;
   crypto::KeyStore keys_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -114,6 +130,9 @@ class TcpCluster {
   std::vector<std::uint16_t> ports_;
   std::vector<NodeId> unfinished_;
   std::atomic<bool> stop_{false};
+  /// Signaled by nodes on protocol termination (and thread exit) so wait()
+  /// blocks in poll() instead of sleeping on a timer.
+  net::WakeupFd done_wake_;
   bool started_ = false;
   bool joined_ = false;
 };

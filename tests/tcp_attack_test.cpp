@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "dolev/dolev.hpp"
+#include "scenario/runtime.hpp"
+#include "scenario/spec.hpp"
 #include "transport/decoders.hpp"
 #include "transport/tcp.hpp"
 #include "tests/test_util.hpp"
@@ -138,6 +140,42 @@ TEST(TcpAttack, SlowLorisHelloDoesNotBlockTheMesh) {
 
   EXPECT_TRUE(cluster.wait());
   for (int fd : stalled) ::close(fd);
+}
+
+TEST(TcpAttack, FaultedTcpRunsStillTerminate) {
+  // Declarative-fault stress on the real data plane: crash-silent top ids,
+  // garbage-spraying and crash-after Byzantine nodes. Honest nodes must
+  // terminate (garbage frames are dropped as malformed, dead links are
+  // closed, the event loops must not wedge on either).
+  struct Case {
+    const char* protocol;
+    std::size_t n;
+    std::size_t crashes;
+    const char* byzantine;
+  };
+  // Fault budgets stay within each protocol's resilience: delphi tolerates
+  // t = (n-1)/3 (n = 7 → 2 faults), dolev t = (n-1)/5, rbc t = (n-1)/3.
+  const std::vector<Case> cases = {
+      {"delphi", 7, 1, "garbage:48:1"},
+      {"dolev", 6, 0, "crash-after:10:1"},
+      {"rbc", 5, 1, "none"},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.protocol);
+    scenario::ScenarioSpec spec;
+    spec.protocol = c.protocol;
+    spec.substrate = scenario::Substrate::kTcp;
+    spec.n = c.n;
+    spec.seed = 13;
+    spec.crashes = c.crashes;
+    spec.byzantine = scenario::parse_byzantine(c.byzantine);
+    if (spec.protocol == std::string("dolev")) spec.params["rounds"] = 6;
+    const auto rep = scenario::TcpRuntime().run(spec);
+    EXPECT_TRUE(rep.ok) << "unfinished honest nodes: " << rep.unfinished.size();
+    EXPECT_TRUE(rep.unfinished.empty());
+    const std::size_t faulted = c.crashes + spec.byzantine.k;
+    EXPECT_EQ(rep.outputs.size(), c.n - faulted);
+  }
 }
 
 }  // namespace
