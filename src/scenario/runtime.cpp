@@ -6,10 +6,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "net/netem.hpp"
 #include "scenario/registry.hpp"
 #include "sim/byzantine.hpp"
 #include "sim/latency.hpp"
 #include "transport/tcp.hpp"
+#include "transport/udp.hpp"
 
 namespace delphi::scenario {
 
@@ -103,6 +105,115 @@ std::shared_ptr<sim::NetworkAdversary> make_adversary(
   return nullptr;
 }
 
+/// Netem shim parameters for a socket substrate: the spec's adversary= form
+/// plus the loss/bandwidth knobs. The shim's schedule seed is the spec seed,
+/// so the same spec emulates the same network on every run.
+net::netem::Config netem_from_spec(const ScenarioSpec& rs) {
+  net::netem::Config c;
+  c.seed = rs.seed;
+  switch (rs.adversary.kind) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kRandomDelay:
+      c.jitter_max_us = static_cast<SimTime>(rs.adversary.us);
+      break;
+    case AdversaryKind::kTargetedLag:
+      c.lag_k = static_cast<std::size_t>(rs.adversary.k);
+      c.lag_us = static_cast<SimTime>(rs.adversary.us);
+      break;
+    case AdversaryKind::kPartition:
+      c.partition_k = static_cast<std::size_t>(rs.adversary.k);
+      c.heal_us = static_cast<SimTime>(rs.adversary.us);
+      break;
+    case AdversaryKind::kBurst:
+      c.burst_period_us = static_cast<SimTime>(rs.adversary.us);
+      break;
+  }
+  c.loss = rs.param("loss", 0.0);
+  c.loss_burst_len = rs.param("loss-burst", 1.0);
+  // 1 kbit/s = 125 bytes/s = 1.25e-4 bytes/µs.
+  c.rate_bytes_per_us = rs.param("rate-kbps", 0.0) * 0.000125;
+  return c;
+}
+
+/// Precise substrate-support errors for the netem knobs: a key that cannot
+/// take effect on the spec's substrate must fail loudly, with the fix named.
+void check_netem_support(const ScenarioSpec& rs) {
+  const bool sim = rs.substrate == Substrate::kSim;
+  const bool udp = rs.substrate == Substrate::kUdp;
+  if (!udp) {
+    for (const char* key : {"loss", "loss-burst"}) {
+      if (rs.params.contains(key)) {
+        throw ConfigError(
+            std::string("scenario: ") + key + "= needs a substrate that can " +
+            (sim ? "drop messages (the simulator's asynchronous model "
+                   "forbids drops)"
+                 : "recover dropped frames (tcp has no frame-level "
+                   "retransmission, a shim-dropped frame would be lost "
+                   "forever)") +
+            "; did you mean substrate=udp?");
+      }
+    }
+    if (rs.params.contains("rto-ms")) {
+      throw ConfigError(
+          "scenario: rto-ms= is the udp substrate's retransmission timeout; "
+          "did you mean substrate=udp?");
+    }
+  }
+  if (sim && rs.params.contains("rate-kbps")) {
+    throw ConfigError(
+        "scenario: rate-kbps= shapes a real socket's send boundary (the "
+        "simulator models bandwidth via its testbed cost model); did you "
+        "mean substrate=udp?");
+  }
+  if (udp && rs.param("fifo", 0.0) != 0.0) {
+    throw ConfigError(
+        "scenario: fifo=1 requires per-link FIFO delivery, which the udp "
+        "substrate deliberately does not provide — use substrate=sim or "
+        "substrate=tcp");
+  }
+}
+
+/// The socket-substrate run body shared by TcpRuntime and UdpRuntime: both
+/// clusters expose the same lifecycle/observer API, so only the Options
+/// differ.
+template <typename Cluster>
+RunReport run_cluster(const ProtocolInfo& info, const ScenarioSpec& rs,
+                      const typename Cluster::Options& opts) {
+  const auto crashed = crash_set(rs);
+  auto faulted = crashed;
+  faulted.merge(byzantine_set(rs));
+  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
+                                   crashed, byzantine_set(rs), rs.byzantine);
+
+  Cluster cluster(opts);
+  const auto start = std::chrono::steady_clock::now();
+  cluster.start(factory, info.make_decoder(rs));
+
+  RunReport rep;
+  rep.ok = cluster.wait();
+  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  rep.runtime_ms = rep.ok ? static_cast<double>(wall) / 1000.0 : -0.001;
+  rep.nodes.resize(rs.n);
+  for (NodeId i = 0; i < rs.n; ++i) {
+    const auto& m = cluster.metrics(i);
+    rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
+                    m.malformed_dropped, /*terminated_at=*/-1};
+    if (!faulted.contains(i)) {
+      rep.honest_bytes += m.bytes_sent;
+      rep.honest_msgs += m.msgs_sent;
+      info.harvest(cluster.protocol(i), rep.outputs);
+    }
+  }
+  // wait() reports faulted nodes as done (SilentProtocol and the Byzantine
+  // wrappers all claim terminated()), so everything in unfinished() is an
+  // honest straggler.
+  rep.unfinished = cluster.unfinished();
+  return rep;
+}
+
 }  // namespace
 
 sim::SimConfig testbed_config(TestbedKind tb, std::size_t n,
@@ -134,6 +245,7 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
   const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
   const auto& info = reg.require(spec.protocol);
   const ScenarioSpec rs = resolve(spec, reg, info);
+  check_netem_support(rs);
 
   auto cfg = testbed_config(rs.testbed, rs.n, rs.seed);
   cfg.auth_channels = rs.param("auth", 1.0) != 0.0;
@@ -178,12 +290,7 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
   const auto& info = reg.require(spec.protocol);
   const ScenarioSpec rs = resolve(spec, reg, info);
-  if (rs.adversary.kind != AdversaryKind::kNone) {
-    throw ConfigError(
-        "scenario: adversary= requires substrate=sim (the tcp network is "
-        "real and cannot be delay-scheduled); byzantine= and crashes= run on "
-        "both substrates");
-  }
+  check_netem_support(rs);
 
   transport::TcpCluster::Options opts;
   opts.n = rs.n;
@@ -191,43 +298,39 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   opts.seed = rs.seed;
   opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
   opts.nodelay = rs.param("nodelay", 1.0) != 0.0;
+  // Every adversary= form runs here via the shim's holdback (delay-only:
+  // check_netem_support already rejected the loss knobs).
+  opts.netem = netem_from_spec(rs);
 
-  const auto crashed = crash_set(rs);
-  auto faulted = crashed;
-  faulted.merge(byzantine_set(rs));
-  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
-                                   crashed, byzantine_set(rs), rs.byzantine);
+  return run_cluster<transport::TcpCluster>(info, rs, opts);
+}
 
-  transport::TcpCluster cluster(opts);
-  const auto start = std::chrono::steady_clock::now();
-  cluster.start(factory, info.make_decoder(rs));
+RunReport UdpRuntime::run(const ScenarioSpec& spec) {
+  const auto& reg = registry_ != nullptr ? *registry_ : ProtocolRegistry::global();
+  const auto& info = reg.require(spec.protocol);
+  const ScenarioSpec rs = resolve(spec, reg, info);
+  check_netem_support(rs);
 
-  RunReport rep;
-  rep.ok = cluster.wait();
-  const auto wall = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  rep.runtime_ms = rep.ok ? static_cast<double>(wall) / 1000.0 : -0.001;
-  rep.nodes.resize(rs.n);
-  for (NodeId i = 0; i < rs.n; ++i) {
-    const auto& m = cluster.metrics(i);
-    rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
-                    m.malformed_dropped, /*terminated_at=*/-1};
-    if (!faulted.contains(i)) {
-      rep.honest_bytes += m.bytes_sent;
-      rep.honest_msgs += m.msgs_sent;
-      info.harvest(cluster.protocol(i), rep.outputs);
-    }
-  }
-  // wait() reports faulted nodes as done (SilentProtocol and the Byzantine
-  // wrappers all claim terminated()), so everything in unfinished() is an
-  // honest straggler.
-  rep.unfinished = cluster.unfinished();
-  return rep;
+  transport::UdpMesh::Options opts;
+  opts.n = rs.n;
+  opts.auth = rs.param("auth", 1.0) != 0.0;
+  opts.seed = rs.seed;
+  opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
+  opts.rto_ms = static_cast<std::int64_t>(rs.param("rto-ms", 25.0));
+  opts.netem = netem_from_spec(rs);
+
+  return run_cluster<transport::UdpMesh>(info, rs, opts);
 }
 
 RunReport run_scenario(const ScenarioSpec& spec) {
-  if (spec.substrate == Substrate::kTcp) return TcpRuntime().run(spec);
+  switch (spec.substrate) {
+    case Substrate::kTcp:
+      return TcpRuntime().run(spec);
+    case Substrate::kUdp:
+      return UdpRuntime().run(spec);
+    case Substrate::kSim:
+      break;
+  }
   return SimRuntime().run(spec);
 }
 

@@ -4,11 +4,13 @@
 /// RunReport.
 ///
 /// SimRuntime drives the deterministic discrete-event simulator (same spec +
-/// seed ⇒ bit-identical report); TcpRuntime drives a real full-mesh TCP
-/// cluster on localhost. Both substrates run the identical protocol state
-/// machines (net::Protocol) built by the ProtocolRegistry, and both report
-/// through the same RunReport — the merge of the historical sim::RunOutcome,
-/// bench::Result, and transport::TransportMetrics mini-APIs.
+/// seed ⇒ bit-identical report); TcpRuntime and UdpRuntime drive real
+/// full-mesh socket clusters on localhost (stream and datagram transports
+/// respectively, both optionally shaped by the in-process netem shim). All
+/// substrates run the identical protocol state machines (net::Protocol)
+/// built by the ProtocolRegistry, and all report through the same RunReport
+/// — the merge of the historical sim::RunOutcome, bench::Result, and
+/// transport::TransportMetrics mini-APIs.
 
 #include <cstdint>
 #include <vector>
@@ -27,8 +29,8 @@ struct NodeCounters {
   std::uint64_t bytes_sent = 0;  ///< framed bytes, self-delivery excluded
   std::uint64_t msgs_delivered = 0;
   std::uint64_t malformed_dropped = 0;
-  /// Termination time (simulated µs); -1 if never, or under TCP (which has
-  /// no per-node clock worth reporting).
+  /// Termination time (simulated µs); -1 if never, or on the socket
+  /// substrates (which have no per-node clock worth reporting).
   SimTime terminated_at = -1;
 
   bool operator==(const NodeCounters&) const = default;
@@ -38,9 +40,9 @@ struct NodeCounters {
 struct RunReport {
   /// Every honest (non-crashed) node terminated.
   bool ok = false;
-  /// Honest completion time: simulated ms under sim, wall-clock ms under
-  /// TCP. (-0.001 when some honest node never terminated, matching the
-  /// historical honest_completion = -1 convention.)
+  /// Honest completion time: simulated ms under sim, wall-clock ms on the
+  /// socket substrates. (-0.001 when some honest node never terminated,
+  /// matching the historical honest_completion = -1 convention.)
   double runtime_ms = 0.0;
   /// Traffic of honest nodes only (the complexity the paper reports).
   std::uint64_t honest_bytes = 0;
@@ -51,8 +53,8 @@ struct RunReport {
   std::vector<double> outputs;
   /// All n nodes' counters, in node-id order.
   std::vector<NodeCounters> nodes;
-  /// Honest node ids that had not terminated (empty iff ok) — under TCP the
-  /// ids TcpCluster::wait() timed out on.
+  /// Honest node ids that had not terminated (empty iff ok) — on the socket
+  /// substrates the ids the cluster's wait() timed out on.
   std::vector<NodeId> unfinished;
 
   bool operator==(const RunReport&) const = default;
@@ -87,15 +89,33 @@ class SimRuntime final : public Runtime {
   const ProtocolRegistry* registry_;
 };
 
-/// Real sockets on 127.0.0.1, one OS thread per node (spec params: auth,
-/// timeout-ms; testbed is ignored — the network is real). Executes the
-/// protocol-wrapping faults (spec.crashes and every spec.byzantine kind);
-/// spec.adversary is rejected with ConfigError — a real network cannot be
-/// delay-scheduled. Protocols resolve via `registry` (nullptr =
-/// ProtocolRegistry::global()).
+/// Real TCP sockets on 127.0.0.1, one OS thread per node (spec params: auth,
+/// timeout-ms, nodelay, rate-kbps; testbed is ignored — the network is
+/// real). Executes the protocol-wrapping faults (spec.crashes and every
+/// spec.byzantine kind) and every spec.adversary form via the netem shim's
+/// send-boundary holdback (delay-only on TCP). The loss knobs are rejected
+/// with a ConfigError suggesting substrate=udp: TCP has no frame-level
+/// recovery, so a shim-dropped frame would be gone forever. Protocols
+/// resolve via `registry` (nullptr = ProtocolRegistry::global()).
 class TcpRuntime final : public Runtime {
  public:
   explicit TcpRuntime(const ProtocolRegistry* registry = nullptr) noexcept
+      : registry_(registry) {}
+  RunReport run(const ScenarioSpec& spec) override;
+
+ private:
+  const ProtocolRegistry* registry_;
+};
+
+/// Real UDP datagrams on 127.0.0.1 (transport/udp.hpp), one OS thread per
+/// node (spec params: auth, timeout-ms, rto-ms, and the full netem plane:
+/// every adversary= form plus loss / loss-burst / rate-kbps). The
+/// substrate's selective-repeat ARQ recovers shim-dropped datagrams, so
+/// agreement terminates under bounded loss. Protocols resolve via
+/// `registry` (nullptr = ProtocolRegistry::global()).
+class UdpRuntime final : public Runtime {
+ public:
+  explicit UdpRuntime(const ProtocolRegistry* registry = nullptr) noexcept
       : registry_(registry) {}
   RunReport run(const ScenarioSpec& spec) override;
 

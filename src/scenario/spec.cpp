@@ -172,13 +172,22 @@ std::string to_string(const ByzantineSpec& b) {
 }
 
 const std::vector<std::string>& universal_param_keys() {
-  static const std::vector<std::string> keys = {"auth", "fifo", "nodelay",
-                                               "timeout-ms"};
+  static const std::vector<std::string> keys = {
+      "auth",      "fifo",      "nodelay", "timeout-ms",
+      "loss",      "loss-burst", "rate-kbps", "rto-ms"};
   return keys;
 }
 
 const char* to_string(Substrate s) noexcept {
-  return s == Substrate::kSim ? "sim" : "tcp";
+  switch (s) {
+    case Substrate::kSim:
+      return "sim";
+    case Substrate::kTcp:
+      return "tcp";
+    case Substrate::kUdp:
+      return "udp";
+  }
+  return "?";
 }
 
 const char* to_string(TestbedKind tb) noexcept {
@@ -236,6 +245,21 @@ void ScenarioSpec::validate() const {
   }
   if (!inputs.empty() && inputs.size() != n) {
     throw ConfigError("scenario: explicit inputs size != n");
+  }
+  // Netem shim knob ranges (substrate support is checked by the runtimes;
+  // the ranges are wrong on every substrate).
+  const double loss = param("loss", 0.0);
+  if (loss < 0.0 || loss >= 1.0) {
+    throw ConfigError("scenario: loss must be in [0, 1)");
+  }
+  if (param("loss-burst", 1.0) < 1.0) {
+    throw ConfigError("scenario: loss-burst must be >= 1");
+  }
+  if (param("rate-kbps", 0.0) < 0.0) {
+    throw ConfigError("scenario: rate-kbps must be >= 0");
+  }
+  if (param("rto-ms", 25.0) < 1.0) {
+    throw ConfigError("scenario: rto-ms must be >= 1");
   }
 }
 
@@ -355,9 +379,12 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
         spec.substrate = Substrate::kSim;
       } else if (value == "tcp") {
         spec.substrate = Substrate::kTcp;
+      } else if (value == "udp") {
+        spec.substrate = Substrate::kUdp;
       } else {
-        throw ConfigError("scenario: substrate must be sim or tcp, got '" +
-                          value + "'");
+        throw ConfigError(
+            "scenario: substrate must be sim, tcp or udp, got '" + value +
+            "'");
       }
     } else if (key == "testbed") {
       if (value == "aws") {

@@ -5,8 +5,9 @@
 ///
 /// The spec is the currency of the scenario API (see scenario/runtime.hpp):
 /// the same value runs unchanged on the discrete-event simulator and the real
-/// TCP transport, drives single runs and parallel sweeps, and round-trips
-/// through a plain `key=value` text form for CLI flags and scenario files.
+/// TCP/UDP transports, drives single runs and parallel sweeps, and
+/// round-trips through a plain `key=value` text form for CLI flags and
+/// scenario files.
 ///
 /// Text form (whitespace-separated `key=value` tokens, e.g. one per line in a
 /// file):
@@ -24,8 +25,9 @@
 /// Reserved keys are the fixed fields below; every other key is a numeric
 /// protocol parameter collected into `params`. Parameter keys are validated
 /// against the protocol's registry entry (plus the universal substrate knobs
-/// auth / fifo / timeout-ms), so a typo like `crashs=2` is a ConfigError
-/// with a "did you mean" suggestion instead of a silent no-op.
+/// auth / fifo / timeout-ms / loss / loss-burst / rate-kbps / rto-ms), so a
+/// typo like `crashs=2` is a ConfigError with a "did you mean" suggestion
+/// instead of a silent no-op.
 /// `inputs=v0,v1,...` pins explicit per-node inputs instead of the
 /// clustered-workload generator.
 /// Serialization is canonical: fixed fields first, then params in key order,
@@ -43,10 +45,10 @@
 namespace delphi::scenario {
 
 /// Which runtime executes the scenario (see scenario/runtime.hpp).
-enum class Substrate { kSim, kTcp };
+enum class Substrate { kSim, kTcp, kUdp };
 
 /// Simulated deployment the latency/cost models are shaped after (§VI-C).
-/// Ignored by the TCP substrate, which runs on the real network.
+/// Ignored by the socket substrates, which run on the real network.
 enum class TestbedKind {
   kAws,    ///< t2.micro WAN: geo latency matrix, latency-dominated costs
   kCps,    ///< Raspberry-Pi LAN: bandwidth- and CPU-dominated costs
@@ -60,8 +62,11 @@ inline constexpr std::size_t kAutoFaults =
 
 class ProtocolRegistry;
 
-/// Network-level adversary strategy (sim substrate only — the asynchronous
-/// model's arbitrary-but-finite delay/reorder power, sim/adversary.hpp).
+/// Network-level adversary strategy — the asynchronous model's
+/// arbitrary-but-finite delay/reorder power. Runs natively in the simulator
+/// (sim/adversary.hpp) and on both socket substrates via the in-process
+/// netem shim (net/netem.hpp), which reproduces the same schedule at the
+/// socket send boundary.
 enum class AdversaryKind {
   kNone,         ///< benign network
   kRandomDelay,  ///< uniform extra delay in [0, us] on every message
@@ -118,8 +123,10 @@ ByzantineSpec parse_byzantine(const std::string& value);
 std::string to_string(const AdversarySpec& a);
 std::string to_string(const ByzantineSpec& b);
 
-/// Substrate knobs every protocol accepts (auth, fifo, timeout-ms) — always
-/// legal `params` keys in addition to a registry entry's `param_keys`.
+/// Substrate knobs every protocol accepts (auth, fifo, nodelay, timeout-ms,
+/// and the netem shim knobs loss / loss-burst / rate-kbps / rto-ms) —
+/// always legal `params` keys in addition to a registry entry's
+/// `param_keys`.
 const std::vector<std::string>& universal_param_keys();
 
 struct ScenarioSpec {
@@ -134,8 +141,9 @@ struct ScenarioSpec {
   /// Crash-faulted nodes (silent from the start), placed at the top ids —
   /// the fault model of the paper's crash experiments.
   std::size_t crashes = 0;
-  /// Network-level adversary (sim only; TcpRuntime rejects anything but
-  /// kNone — the real network is not schedulable).
+  /// Network-level adversary: scheduled natively by the simulator, emulated
+  /// on tcp/udp by the netem shim at the send boundary (every form runs on
+  /// every substrate).
   AdversarySpec adversary;
   /// Byzantine node behaviour for `byzantine.k` nodes directly below the
   /// `crashes` block (both substrates — the wrappers are protocol-level).
@@ -155,7 +163,9 @@ struct ScenarioSpec {
 
   /// Protocol-specific numeric knobs, e.g. rho0 / eps / delta-max / rounds /
   /// r-max / coin-us / dims. Also carries substrate knobs: auth (default 1),
-  /// fifo (default 0, sim only), timeout-ms (default 30000, tcp only).
+  /// fifo (default 0, sim only), timeout-ms (default 30000, sockets only),
+  /// and the netem shim knobs loss / loss-burst (udp), rate-kbps (sockets),
+  /// rto-ms (udp retransmission timeout).
   std::map<std::string, double> params;
 
   bool operator==(const ScenarioSpec&) const = default;

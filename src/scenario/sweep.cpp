@@ -19,9 +19,9 @@ std::vector<RunReport> SweepRunner::run(
   std::vector<std::exception_ptr> errors(specs.size());
 
   std::vector<std::size_t> sim_indices;
-  std::vector<std::size_t> tcp_indices;
+  std::vector<std::size_t> socket_indices;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    (specs[i].substrate == Substrate::kSim ? sim_indices : tcp_indices)
+    (specs[i].substrate == Substrate::kSim ? sim_indices : socket_indices)
         .push_back(i);
   }
 
@@ -55,8 +55,9 @@ std::vector<RunReport> SweepRunner::run(
     for (auto& th : threads) th.join();
   }
 
-  // TCP specs run serially (each one is already an n-thread deployment).
-  for (const std::size_t i : tcp_indices) run_one(i);
+  // Socket specs (tcp/udp) run serially (each one is already an n-thread
+  // deployment).
+  for (const std::size_t i : socket_indices) run_one(i);
 
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (errors[i]) std::rethrow_exception(errors[i]);

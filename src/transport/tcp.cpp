@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <queue>
 #include <string>
 
 #include "common/error.hpp"
@@ -156,25 +157,30 @@ class TcpCluster::Node final : public net::Context {
  public:
   Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
        const std::vector<std::uint16_t>& ports, int listen_fd,
-       std::unique_ptr<net::Protocol> protocol, Decoder decoder,
-       net::WakeupFd& done_wake)
+       Clock::time_point epoch, std::unique_ptr<net::Protocol> protocol,
+       Decoder decoder, net::WakeupFd& done_wake)
       : self_(self),
         opts_(opts),
         keys_(keys),
         ports_(ports),
         listen_fd_(listen_fd),
+        epoch_(epoch),
         protocol_(std::move(protocol)),
         decoder_(std::move(decoder)),
         done_wake_(done_wake),
         rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))) {
     peers_.resize(opts_.n);
     for (NodeId j = 0; j < opts_.n; ++j) {
-      if (opts_.auth && j != self_) {
+      if (j == self_) continue;
+      Peer& p = peers_[j];
+      if (opts_.auth) {
         // One HMAC key schedule per link lifetime: the midstates serve both
         // outgoing tags and the parser's verification.
-        Peer& p = peers_[j];
         p.mac.emplace(keys_.channel_key(self_, j));
         p.parser = FrameParser(&*p.mac);
+      }
+      if (opts_.netem.active()) {
+        p.shim = net::netem::LinkShim(opts_.netem, self_, j);
       }
     }
     rbuf_.resize(64 * 1024);
@@ -266,12 +272,34 @@ class TcpCluster::Node final : public net::Context {
     /// Precomputed pairwise HMAC midstates (send tags + parser verify).
     std::optional<crypto::HmacKey> mac;
     FrameParser parser;
+    /// Netem emulation for this directed link (inert unless configured).
+    net::netem::LinkShim shim;
     std::deque<PendingFrame> outq;
     /// Bytes of outq.front() already on the wire (may point into the tag).
     std::size_t front_written = 0;
     /// Last writev hit EAGAIN: wait for POLLOUT instead of re-trying.
     bool blocked = false;
   };
+
+  /// A frame the netem shim is holding back from the wire until `release`.
+  struct HeldFrame {
+    SimTime release = 0;
+    std::uint64_t order = 0;
+    NodeId to = 0;
+    PendingFrame frame;
+  };
+  struct HeldLater {
+    bool operator()(const HeldFrame& a, const HeldFrame& b) const {
+      return a.release != b.release ? a.release > b.release
+                                    : a.order > b.order;
+    }
+  };
+
+  SimTime now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 epoch_)
+        .count();
+  }
 
   void enqueue_frame(NodeId to, const SharedFrameBody& body) {
     Peer& p = peers_[to];
@@ -283,7 +311,31 @@ class TcpCluster::Node final : public net::Context {
     PendingFrame pf;
     pf.body = body;
     if (p.mac.has_value()) pf.tag = frame_tag(*p.mac, *body);
+    if (p.shim.active()) {
+      const SimTime now = now_us();
+      const auto v =
+          p.shim.on_send(now, frame_wire_size(*body, p.mac.has_value()));
+      // Delay-only on TCP (drop verdicts ignored — see Options::netem): a
+      // future release parks the frame on the holdback heap; the event loop
+      // moves it to the outq when due.
+      if (v.release_us > now) {
+        held_.push({v.release_us, v.order, to, std::move(pf)});
+        return;
+      }
+    }
     p.outq.push_back(std::move(pf));
+  }
+
+  /// Move every held frame whose release time has arrived onto its link's
+  /// output queue, in (release, order) order — which realizes the burst
+  /// adversary's within-window LIFO on a real stream.
+  void release_held(SimTime now) {
+    while (!held_.empty() && held_.top().release <= now) {
+      HeldFrame h = std::move(const_cast<HeldFrame&>(held_.top()));
+      held_.pop();
+      Peer& p = peers_[h.to];
+      if (p.fd >= 0) p.outq.push_back(std::move(h.frame));
+    }
   }
 
   /// Establish the full mesh: connect to every lower id, accept from every
@@ -401,6 +453,7 @@ class TcpCluster::Node final : public net::Context {
   /// signal. No sleep ticks anywhere.
   void event_loop(const std::atomic<bool>& stop) {
     while (!stop.load(std::memory_order_relaxed)) {
+      if (!held_.empty()) release_held(now_us());
       flush_pending();
 
       pollfds_.clear();
@@ -415,7 +468,14 @@ class TcpCluster::Node final : public net::Context {
         pollfds_.push_back({p.fd, events, 0});
         owners_.push_back(j);
       }
-      if (::poll(pollfds_.data(), pollfds_.size(), -1) < 0) {
+      // Indefinite block unless the shim holds frames: then wake for the
+      // earliest release (the only timed wakeup in this loop).
+      int timeout = -1;
+      if (!held_.empty()) {
+        const SimTime ms = (held_.top().release - now_us()) / 1000 + 1;
+        timeout = static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000));
+      }
+      if (::poll(pollfds_.data(), pollfds_.size(), timeout) < 0) {
         if (errno == EINTR) continue;
         sys_fail("poll");
       }
@@ -593,12 +653,14 @@ class TcpCluster::Node final : public net::Context {
   const crypto::KeyStore& keys_;
   std::vector<std::uint16_t> ports_;
   int listen_fd_;
+  Clock::time_point epoch_;
   std::unique_ptr<net::Protocol> protocol_;
   Decoder decoder_;
   net::WakeupFd& done_wake_;
   net::WakeupFd wake_;
   Rng rng_;
   std::vector<Peer> peers_;
+  std::priority_queue<HeldFrame, std::vector<HeldFrame>, HeldLater> held_;
   std::deque<std::pair<std::uint32_t, net::MessagePtr>> local_;
   /// Pooled scratch reused across the node's lifetime (no per-iteration or
   /// per-read allocations in the steady state).
@@ -639,10 +701,13 @@ void TcpCluster::start(const ProtocolFactory& factory, Decoder decoder) {
   for (NodeId i = 0; i < opts_.n; ++i) {
     listen_fds[i] = make_listen_socket(ports_[i]);
   }
+  // One shared epoch so every node's shim schedules partition heals and
+  // burst windows against the same t=0.
+  const auto epoch = Clock::now();
   nodes_.reserve(opts_.n);
   for (NodeId i = 0; i < opts_.n; ++i) {
     nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_,
-                                            listen_fds[i], factory(i),
+                                            listen_fds[i], epoch, factory(i),
                                             decoder, done_wake_));
   }
   threads_.reserve(opts_.n);

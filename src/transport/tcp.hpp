@@ -15,7 +15,9 @@
 ///   * one thread per node, poll(2)-driven non-blocking I/O with no timeout
 ///     ticks: loops block until socket activity or a wakeup-fd signal
 ///     (net/wakeup.hpp) and cross-thread stop/termination notifications are
-///     event-driven, so idle nodes burn no CPU and shutdown is immediate;
+///     event-driven, so idle nodes burn no CPU and shutdown is immediate
+///     (the one exception: frames held back by the netem shim bound the
+///     poll timeout by their next release time);
 ///   * broadcasts encode the frame body once and share the immutable buffer
 ///     across all n-1 links (only the per-link MAC differs); pending frames
 ///     are gathered into a single writev(2) per ready socket;
@@ -40,6 +42,7 @@
 #include <vector>
 
 #include "crypto/hmac.hpp"
+#include "net/netem.hpp"
 #include "net/protocol.hpp"
 #include "net/wakeup.hpp"
 #include "transport/frame.hpp"
@@ -80,6 +83,11 @@ class TcpCluster {
     /// Disable Nagle's algorithm on every link (latency over batching; the
     /// scenario layer exposes this as the `nodelay` param).
     bool nodelay = true;
+    /// Network emulation applied per directed link at the send boundary
+    /// (inert by default). Delay-only on TCP: the stream has no frame-level
+    /// recovery, so drop verdicts are ignored — the scenario layer rejects
+    /// loss configs on this substrate.
+    net::netem::Config netem;
   };
 
   /// Shared factory alias from net/protocol.hpp (same type the simulator

@@ -1,0 +1,676 @@
+#include "transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace delphi::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Selective-ack entries advertised per ack datagram (the cumulative floor
+/// carries the rest; a bounded list keeps acks one small datagram).
+constexpr std::size_t kAckSackLimit = 256;
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    sys_fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Bind a UDP socket on 127.0.0.1 with an OS-assigned port; non-blocking,
+/// with roomy buffers (a whole burst window may release at one instant).
+int make_udp_socket(std::uint16_t& port_out) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) sys_fail("socket(udp)");
+  sockaddr_in addr = loopback_addr(0);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind(udp)");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    sys_fail("getsockname(udp)");
+  }
+  port_out = ntohs(addr.sin_port);
+  const int bufsz = 1 << 20;  // best-effort: drops are recoverable anyway
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof(bufsz));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof(bufsz));
+  set_nonblocking(fd);
+  return fd;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- codec
+
+crypto::Digest udp_frame_tag(const crypto::HmacKey& key, std::uint32_t seq,
+                             const std::vector<std::uint8_t>& body) {
+  const std::uint8_t seq_le[4] = {
+      static_cast<std::uint8_t>(seq), static_cast<std::uint8_t>(seq >> 8),
+      static_cast<std::uint8_t>(seq >> 16),
+      static_cast<std::uint8_t>(seq >> 24)};
+  // The MAC covers seq || channel || payload; the body's 4-byte length
+  // prefix is framing, not content (same rule as the TCP frame tag).
+  return key.tag({seq_le, 4},
+                 std::span<const std::uint8_t>(body).subspan(4));
+}
+
+std::vector<std::uint8_t> encode_data_datagram(
+    std::uint32_t seq, const std::vector<std::uint8_t>& body,
+    const crypto::Digest* tag) {
+  ByteWriter w(1 + 4 + body.size() + (tag != nullptr ? crypto::kMacTagSize : 0));
+  w.u8(kDatagramData);
+  w.u32(seq);
+  w.raw(body);
+  if (tag != nullptr) w.raw(*tag);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_ack_datagram(
+    std::uint32_t cum, std::span<const std::uint32_t> sacks,
+    const crypto::HmacKey* key) {
+  ByteWriter w(1 + 4 + 2 + 4 * sacks.size() +
+               (key != nullptr ? crypto::kMacTagSize : 0));
+  w.u8(kDatagramAck);
+  w.u32(cum);
+  w.uvarint(sacks.size());
+  for (const auto s : sacks) w.u32(s);
+  if (key != nullptr) w.raw(key->tag(w.data()));
+  return w.take();
+}
+
+DatagramView decode_datagram(std::span<const std::uint8_t> bytes,
+                             const crypto::HmacKey* key) {
+  ByteReader r0(bytes);
+  const std::uint8_t kind = r0.u8();
+  const std::size_t tag_len = key != nullptr ? crypto::kMacTagSize : 0;
+  DatagramView d;
+
+  if (kind == kDatagramData) {
+    d.seq = r0.u32();
+    const std::uint32_t len = r0.u32();
+    if (len > kMaxFrameBytes) {
+      throw SerializationError("udp: oversized frame length");
+    }
+    // Exactly one frame per datagram: the frame's post-prefix length must
+    // account for every remaining byte.
+    if (len != r0.remaining()) {
+      throw SerializationError("udp: datagram/frame length mismatch");
+    }
+    if (r0.remaining() < tag_len + 1) {
+      throw SerializationError("udp: truncated frame");
+    }
+    const std::size_t content_len = len - tag_len;
+    if (key != nullptr) {
+      crypto::Digest got{};
+      std::memcpy(got.data(), bytes.data() + 9 + content_len, got.size());
+      const auto want =
+          key->tag(bytes.subspan(1, 4), bytes.subspan(9, content_len));
+      if (!crypto::digest_equal(want, got)) {
+        throw ProtocolViolation("udp: datagram authentication failed");
+      }
+    }
+    ByteReader r(bytes.subspan(9, content_len));
+    const std::uint64_t channel = r.uvarint();
+    if (channel > std::numeric_limits<std::uint32_t>::max()) {
+      throw SerializationError("udp: channel id overflows u32");
+    }
+    d.channel = static_cast<std::uint32_t>(channel);
+    d.payload = bytes.subspan(9 + (content_len - r.remaining()), r.remaining());
+    return d;
+  }
+
+  if (kind == kDatagramAck) {
+    if (bytes.size() < 1 + 4 + 1 + tag_len) {
+      throw SerializationError("udp: truncated ack");
+    }
+    d.is_ack = true;
+    const std::size_t content_len = bytes.size() - tag_len;
+    if (key != nullptr) {
+      crypto::Digest got{};
+      std::memcpy(got.data(), bytes.data() + content_len, got.size());
+      const auto want = key->tag(bytes.subspan(0, content_len));
+      if (!crypto::digest_equal(want, got)) {
+        throw ProtocolViolation("udp: ack authentication failed");
+      }
+    }
+    ByteReader r(bytes.subspan(1, content_len - 1));
+    d.seq = r.u32();
+    const std::uint64_t count = r.uvarint();
+    if (count > kMaxAckSacks) {
+      throw SerializationError("udp: ack sack count too large");
+    }
+    if (count * 4 != r.remaining()) {
+      throw SerializationError("udp: ack length mismatch");
+    }
+    d.sacks.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) d.sacks.push_back(r.u32());
+    return d;
+  }
+
+  throw SerializationError("udp: unknown datagram kind");
+}
+
+bool SeqFilter::accept(std::uint32_t seq) {
+  if (seq < cum_ || ahead_.contains(seq)) return false;
+  ahead_.insert(seq);
+  while (!ahead_.empty() && *ahead_.begin() == cum_) {
+    ahead_.erase(ahead_.begin());
+    ++cum_;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------- Node
+
+class UdpMesh::Node final : public net::Context {
+ public:
+  Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
+       const std::vector<std::uint16_t>& ports, int sock_fd,
+       Clock::time_point epoch, std::unique_ptr<net::Protocol> protocol,
+       Decoder decoder, net::WakeupFd& done_wake)
+      : self_(self),
+        opts_(opts),
+        sock_fd_(sock_fd),
+        epoch_(epoch),
+        protocol_(std::move(protocol)),
+        decoder_(std::move(decoder)),
+        done_wake_(done_wake),
+        rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
+        rto_us_(std::max<std::int64_t>(opts.rto_ms, 1) * 1000) {
+    peers_.resize(opts_.n);
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      if (j == self_) continue;
+      Peer& p = peers_[j];
+      p.addr = loopback_addr(ports[j]);
+      if (opts_.auth) p.mac.emplace(keys.channel_key(self_, j));
+      if (opts_.netem.active()) {
+        p.shim = net::netem::LinkShim(opts_.netem, self_, j);
+      }
+      port_to_peer_.emplace(ports[j], j);
+    }
+    rbuf_.resize(64 * 1024);
+  }
+
+  ~Node() override {
+    if (sock_fd_ >= 0) ::close(sock_fd_);
+  }
+
+  // ---- net::Context -------------------------------------------------------
+  NodeId self() const override { return self_; }
+  std::size_t n() const override { return opts_.n; }
+
+  /// Microseconds since cluster start — the clock the netem shim schedules
+  /// against (partition heal times are cluster-relative, like sim time).
+  SimTime now() const override { return now_us(); }
+
+  void send(NodeId to, std::uint32_t channel, net::MessagePtr msg) override {
+    DELPHI_ASSERT(to < opts_.n, "udp send: bad destination");
+    if (to == self_) {
+      local_.emplace_back(channel, std::move(msg));
+      return;
+    }
+    enqueue_frame(to, encode_frame_body(channel, *msg, opts_.auth));
+  }
+
+  void broadcast(std::uint32_t channel, net::MessagePtr msg) override {
+    // One serialization for all destinations (the TCP data plane's shared
+    // immutable body); per-link seq and tag are attached at enqueue.
+    const SharedFrameBody body = encode_frame_body(channel, *msg, opts_.auth);
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      if (j == self_) {
+        local_.emplace_back(channel, msg);
+      } else {
+        enqueue_frame(j, body);
+      }
+    }
+  }
+
+  void charge_compute(SimTime) override {}  // real cycles are already spent
+  Rng& rng() override { return rng_; }
+
+  // ---- lifecycle ----------------------------------------------------------
+
+  void run(const std::atomic<bool>& stop) {
+    try {
+      protocol_->on_start(*this);
+      drain_local();
+      note_termination();
+      event_loop(stop);
+    } catch (const std::exception& e) {
+      error_ = e.what();
+    }
+    exited.store(true, std::memory_order_release);
+    done_wake_.signal();
+  }
+
+  void wake() noexcept { wake_.signal(); }
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> exited{false};
+
+  net::Protocol& protocol() { return *protocol_; }
+  const TransportMetrics& metrics() const { return metrics_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  /// One logically-sent, not-yet-acknowledged frame: the shared body, its
+  /// seq-covering link tag, and the time of the next (re)transmission
+  /// attempt.
+  struct Unacked {
+    SharedFrameBody body;
+    crypto::Digest tag{};
+    SimTime at = 0;
+  };
+
+  struct Peer {
+    sockaddr_in addr{};
+    std::optional<crypto::HmacKey> mac;
+    net::netem::LinkShim shim;
+    // Send side (selective-repeat ARQ).
+    std::uint32_t next_seq = 0;
+    std::map<std::uint32_t, Unacked> unacked;
+    /// (at, seq) attempt schedule; entries are lazily invalidated when a
+    /// frame is acked or rescheduled.
+    std::priority_queue<std::pair<SimTime, std::uint32_t>,
+                        std::vector<std::pair<SimTime, std::uint32_t>>,
+                        std::greater<>>
+        events;
+    // Receive side.
+    SeqFilter filter;
+    bool ack_due = false;
+    std::vector<std::uint32_t> fresh_sacks;
+  };
+
+  /// A materialized datagram waiting for its netem release time (or due
+  /// immediately on unshimmed links).
+  struct WireItem {
+    SimTime release = 0;
+    std::uint64_t order = 0;
+    NodeId to = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  struct WireLater {
+    bool operator()(const WireItem& a, const WireItem& b) const {
+      return a.release != b.release ? a.release > b.release
+                                    : a.order > b.order;
+    }
+  };
+
+  SimTime now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 epoch_)
+        .count();
+  }
+
+  void enqueue_frame(NodeId to, const SharedFrameBody& body) {
+    Peer& p = peers_[to];
+    // Counted at the logical send only (matches sim's framed_size
+    // accounting); retransmissions, acks, and the kind/seq header are
+    // transport overhead, not protocol traffic.
+    ++metrics_.msgs_sent;
+    metrics_.bytes_sent += frame_wire_size(*body, p.mac.has_value());
+    const std::size_t dgram =
+        1 + 4 + body->size() + (p.mac.has_value() ? crypto::kMacTagSize : 0);
+    if (dgram > kMaxDatagramBytes) {
+      throw Error("udp: frame of " + std::to_string(dgram) +
+                  " bytes exceeds the one-datagram limit");
+    }
+    const std::uint32_t seq = p.next_seq++;
+    const SimTime at = now_us();
+    Unacked u;
+    u.body = body;
+    if (p.mac.has_value()) u.tag = udp_frame_tag(*p.mac, seq, *body);
+    u.at = at;
+    p.unacked.emplace(seq, std::move(u));
+    p.events.emplace(at, seq);
+  }
+
+  void drain_local() {
+    while (!local_.empty()) {
+      auto [channel, msg] = std::move(local_.front());
+      local_.pop_front();
+      dispatch(self_, channel, *msg);
+    }
+  }
+
+  void dispatch(NodeId from, std::uint32_t channel,
+                const net::MessageBody& body) {
+    try {
+      protocol_->on_message(*this, from, channel, body);
+      ++metrics_.msgs_delivered;
+    } catch (const Error&) {
+      ++metrics_.malformed_dropped;
+    }
+  }
+
+  void note_termination() {
+    if (!done.load(std::memory_order_relaxed) && protocol_->terminated()) {
+      done.store(true, std::memory_order_release);
+      done_wake_.signal();
+    }
+  }
+
+  /// Run every due (re)transmission attempt: consult the link shim, park the
+  /// materialized datagram on the wire queue until its release time, and
+  /// re-arm the frame's retransmission timer.
+  void process_out(SimTime now) {
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      Peer& p = peers_[j];
+      while (!p.events.empty()) {
+        const auto [at, seq] = p.events.top();
+        const auto it = p.unacked.find(seq);
+        if (it == p.unacked.end() || it->second.at != at) {
+          p.events.pop();  // acked or rescheduled since
+          continue;
+        }
+        if (at > now) break;
+        p.events.pop();
+        const auto v = p.shim.on_send(
+            now, frame_wire_size(*it->second.body, p.mac.has_value()));
+        const SimTime xmit = std::max(now, v.release_us);
+        if (!v.drop) {
+          wireq_.push({xmit, v.order, j,
+                       encode_data_datagram(
+                           seq, *it->second.body,
+                           p.mac.has_value() ? &it->second.tag : nullptr)});
+        }
+        // Retransmit one RTO after the (possibly shim-delayed) wire time —
+        // a shim-dropped attempt simply retries then.
+        it->second.at = xmit + rto_us_;
+        p.events.emplace(it->second.at, seq);
+      }
+    }
+  }
+
+  /// Send every datagram whose release time has arrived. Send failures
+  /// (full buffers) are indistinguishable from network loss: the ARQ — or,
+  /// for acks, the peer's duplicate-triggered re-ack — recovers.
+  void flush_wire(SimTime now) {
+    while (!wireq_.empty() && wireq_.top().release <= now) {
+      const WireItem& w = wireq_.top();
+      ::sendto(sock_fd_, w.bytes.data(), w.bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&peers_[w.to].addr),
+               sizeof(sockaddr_in));
+      wireq_.pop();
+    }
+  }
+
+  /// Build one ack per peer that delivered data this round: cumulative
+  /// floor + the freshly accepted seqs above it. Acks ride the shim too (a
+  /// partition must block information in both layers).
+  void flush_acks(SimTime now) {
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      Peer& p = peers_[j];
+      if (!p.ack_due) continue;
+      p.ack_due = false;
+      const std::uint32_t cum = p.filter.cum();
+      sack_scratch_.clear();
+      for (const auto s : p.fresh_sacks) {
+        if (s >= cum && sack_scratch_.size() < kAckSackLimit) {
+          sack_scratch_.push_back(s);
+        }
+      }
+      p.fresh_sacks.clear();
+      auto bytes = encode_ack_datagram(
+          cum, sack_scratch_, p.mac.has_value() ? &*p.mac : nullptr);
+      const auto v = p.shim.on_send(now, bytes.size());
+      if (v.drop) continue;
+      wireq_.push({std::max(now, v.release_us), v.order, j, std::move(bytes)});
+    }
+  }
+
+  void drain_socket() {
+    while (true) {
+      sockaddr_in src{};
+      socklen_t slen = sizeof(src);
+      const ssize_t k =
+          ::recvfrom(sock_fd_, rbuf_.data(), rbuf_.size(), 0,
+                     reinterpret_cast<sockaddr*>(&src), &slen);
+      if (k < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN: drained (other errnos: nothing to read either)
+      }
+      const auto it = port_to_peer_.find(ntohs(src.sin_port));
+      if (it == port_to_peer_.end()) continue;  // stranger datagram
+      handle_datagram(it->second,
+                      {rbuf_.data(), static_cast<std::size_t>(k)});
+    }
+  }
+
+  void handle_datagram(NodeId from, std::span<const std::uint8_t> bytes) {
+    Peer& p = peers_[from];
+    DatagramView d;
+    try {
+      d = decode_datagram(bytes, p.mac.has_value() ? &*p.mac : nullptr);
+    } catch (const Error&) {
+      // Truncated, tampered, or forged: a datagram is self-contained, so
+      // dropping it poisons nothing (unlike a broken TCP stream).
+      ++metrics_.malformed_dropped;
+      return;
+    }
+    if (d.is_ack) {
+      for (auto it = p.unacked.begin();
+           it != p.unacked.end() && it->first < d.seq;) {
+        it = p.unacked.erase(it);
+      }
+      for (const auto s : d.sacks) p.unacked.erase(s);
+      return;
+    }
+    p.ack_due = true;
+    if (!p.filter.accept(d.seq)) return;  // duplicate: re-ack, don't deliver
+    p.fresh_sacks.push_back(d.seq);
+    try {
+      ByteReader r(d.payload);
+      const net::MessagePtr msg = decoder_(d.channel, r);
+      r.expect_exhausted();
+      dispatch(from, d.channel, *msg);
+    } catch (const Error&) {
+      // Valid MAC, undecodable payload (a garbage-spraying peer): count and
+      // drop, but keep the seq accepted so it is acked, like the TCP path
+      // keeps the link up.
+      ++metrics_.malformed_dropped;
+    }
+    drain_local();
+    note_termination();
+  }
+
+  /// Earliest pending event across the wire queue and every peer's attempt
+  /// schedule; -1 when fully idle (poll may block indefinitely).
+  SimTime next_event() {
+    SimTime next = wireq_.empty() ? -1 : wireq_.top().release;
+    for (auto& p : peers_) {
+      while (!p.events.empty()) {
+        const auto [at, seq] = p.events.top();
+        const auto it = p.unacked.find(seq);
+        if (it == p.unacked.end() || it->second.at != at) {
+          p.events.pop();
+          continue;
+        }
+        if (next < 0 || at < next) next = at;
+        break;
+      }
+    }
+    return next;
+  }
+
+  void event_loop(const std::atomic<bool>& stop) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SimTime now = now_us();
+      process_out(now);
+      flush_wire(now);
+
+      const SimTime next = next_event();
+      int timeout = -1;
+      if (next >= 0) {
+        const SimTime ms = (next - now_us()) / 1000 + 1;
+        timeout = static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000));
+      }
+      pollfd fds[2] = {{wake_.fd(), POLLIN, 0}, {sock_fd_, POLLIN, 0}};
+      if (::poll(fds, 2, timeout) < 0) {
+        if (errno == EINTR) continue;
+        sys_fail("poll(udp)");
+      }
+      if (fds[0].revents != 0) wake_.drain();  // stop re-checked above
+      if (fds[1].revents & (POLLIN | POLLERR)) drain_socket();
+      flush_acks(now_us());
+    }
+  }
+
+  NodeId self_;
+  Options opts_;
+  int sock_fd_;
+  Clock::time_point epoch_;
+  std::unique_ptr<net::Protocol> protocol_;
+  Decoder decoder_;
+  net::WakeupFd& done_wake_;
+  net::WakeupFd wake_;
+  Rng rng_;
+  SimTime rto_us_;
+  std::vector<Peer> peers_;
+  std::unordered_map<std::uint16_t, NodeId> port_to_peer_;
+  std::priority_queue<WireItem, std::vector<WireItem>, WireLater> wireq_;
+  std::deque<std::pair<std::uint32_t, net::MessagePtr>> local_;
+  /// Pooled scratch (no steady-state allocations beyond datagram buffers).
+  std::vector<std::uint8_t> rbuf_;
+  std::vector<std::uint32_t> sack_scratch_;
+  TransportMetrics metrics_;
+  std::string error_;
+};
+
+// --------------------------------------------------------------------- Mesh
+
+UdpMesh::UdpMesh(Options opts)
+    : opts_(opts), keys_(opts.seed, opts.n), ports_(opts.n, 0) {
+  if (opts_.n < 1) throw ConfigError("UdpMesh: n must be >= 1");
+}
+
+UdpMesh::~UdpMesh() {
+  request_stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void UdpMesh::request_stop() {
+  stop_.store(true);
+  for (auto& node : nodes_) node->wake();
+}
+
+void UdpMesh::start(const ProtocolFactory& factory, Decoder decoder) {
+  DELPHI_ASSERT(!started_, "UdpMesh: start() called twice");
+  started_ = true;
+
+  // Bind every socket before any thread runs: the source port is the node
+  // identity, and a datagram sent to an unbound port would just vanish.
+  std::vector<int> socks(opts_.n, -1);
+  for (NodeId i = 0; i < opts_.n; ++i) socks[i] = make_udp_socket(ports_[i]);
+
+  // One shared epoch so every node's shim schedules partition heals and
+  // burst windows against the same t=0 (like sim time).
+  const auto epoch = Clock::now();
+  nodes_.reserve(opts_.n);
+  for (NodeId i = 0; i < opts_.n; ++i) {
+    nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_, socks[i],
+                                            epoch, factory(i), decoder,
+                                            done_wake_));
+  }
+  threads_.reserve(opts_.n);
+  for (NodeId i = 0; i < opts_.n; ++i) {
+    threads_.emplace_back([this, i] { nodes_[i]->run(stop_); });
+  }
+}
+
+bool UdpMesh::wait() {
+  DELPHI_ASSERT(started_, "UdpMesh: wait() before start()");
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(opts_.timeout_ms);
+  while (true) {
+    bool all_done = true;
+    bool dead_node = false;
+    for (const auto& node : nodes_) {
+      if (node->done.load(std::memory_order_acquire)) continue;
+      all_done = false;
+      if (node->exited.load(std::memory_order_acquire)) dead_node = true;
+    }
+    if (all_done || dead_node) break;
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              Clock::now());
+    if (remaining.count() <= 0) break;
+    pollfd pfd{done_wake_.fd(), POLLIN, 0};
+    ::poll(&pfd, 1,
+           static_cast<int>(
+               std::min<std::int64_t>(remaining.count(), 60'000)));
+    done_wake_.drain();
+  }
+  request_stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  unfinished_.clear();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->done.load(std::memory_order_acquire)) {
+      unfinished_.push_back(i);
+    }
+  }
+  joined_ = true;
+  return unfinished_.empty();
+}
+
+const std::vector<NodeId>& UdpMesh::unfinished() const {
+  DELPHI_ASSERT(joined_, "UdpMesh: unfinished() before wait()");
+  return unfinished_;
+}
+
+net::Protocol& UdpMesh::protocol(NodeId id) {
+  DELPHI_ASSERT(joined_, "UdpMesh: protocol() before wait()");
+  DELPHI_ASSERT(id < nodes_.size(), "UdpMesh: bad node id");
+  return nodes_[id]->protocol();
+}
+
+const TransportMetrics& UdpMesh::metrics(NodeId id) const {
+  DELPHI_ASSERT(joined_, "UdpMesh: metrics() before wait()");
+  DELPHI_ASSERT(id < nodes_.size(), "UdpMesh: bad node id");
+  return nodes_[id]->metrics();
+}
+
+std::uint16_t UdpMesh::port(NodeId id) const {
+  DELPHI_ASSERT(id < ports_.size(), "UdpMesh: bad node id");
+  return ports_[id];
+}
+
+}  // namespace delphi::transport

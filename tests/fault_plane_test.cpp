@@ -8,8 +8,9 @@
 ///     time reflects it);
 ///   * faulted sim runs keep the determinism contract (same spec + seed ⇒
 ///     bit-identical RunReport);
-///   * TcpRuntime executes the protocol-wrapping faults and rejects the
-///     sim-only network adversary;
+///   * TcpRuntime executes the protocol-wrapping faults, runs every
+///     adversary= form through the netem shim, and rejects the loss knobs
+///     with a substrate=udp redirect;
 ///   * parse_u64/parse_double reject negative, overflowing, and nan input,
 ///     and unknown/typo'd parameter keys fail with a "did you mean" message
 ///     instead of silently changing nothing.
@@ -282,18 +283,39 @@ TEST(FaultRuntime, TcpExecutesProtocolWrappingFaults) {
   EXPECT_EQ(rep.outputs.size(), 4u);
 }
 
-TEST(FaultRuntime, TcpRejectsNetworkAdversary) {
+TEST(FaultRuntime, TcpShimsEveryAdversaryForm) {
+  // Since the netem shim landed, adversary= is no longer sim-only: every
+  // form runs on real TCP via send-boundary holdback (delay-only).
+  for (const char* form : {"random-delay:2000", "targeted-lag:1:5000",
+                           "partition:1:20000", "burst:20000"}) {
+    SCOPED_TRACE(form);
+    ScenarioSpec spec;
+    spec.protocol = "rbc";
+    spec.substrate = Substrate::kTcp;
+    spec.n = 4;
+    spec.adversary = parse_adversary(form);
+    const auto rep = TcpRuntime().run(spec);
+    EXPECT_TRUE(rep.ok) << "unfinished nodes: " << rep.unfinished.size();
+  }
+}
+
+TEST(FaultRuntime, TcpRejectsLossKnobsWithUdpSuggestion) {
+  // TCP has no frame-level retransmission, so a shim-dropped frame would be
+  // gone forever: the loss knobs stay rejected with a precise redirect.
+  // (This replaces the pre-shim test that expected *every* adversary= to be
+  // rejected on tcp.)
   ScenarioSpec spec;
   spec.protocol = "delphi";
   spec.substrate = Substrate::kTcp;
   spec.n = 4;
-  spec.adversary = parse_adversary("random-delay:1000");
+  spec.params["loss"] = 0.05;
   try {
     TcpRuntime().run(spec);
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
-    EXPECT_NE(std::string(e.what()).find("substrate=sim"), std::string::npos)
-        << e.what();
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("substrate=udp"), std::string::npos) << msg;
   }
 }
 

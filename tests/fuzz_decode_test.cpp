@@ -4,6 +4,12 @@
 /// well-formed message or throw SerializationError/ProtocolViolation — never
 /// crash, hang, or over-allocate. This is the property that lets honest
 /// nodes treat arbitrary Byzantine bytes safely.
+///
+/// The UDP datagram path rides the same harness (data + ack codecs under
+/// truncation/flips/garbage) plus its own properties: a tampered or
+/// renumbered authenticated datagram must fail the MAC (the tag covers the
+/// sequence number), and SeqFilter must deliver each seq exactly once no
+/// matter how datagrams are duplicated or reordered.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +26,7 @@
 #include "oracle/dora_baseline.hpp"
 #include "rbc/rbc.hpp"
 #include "transport/frame.hpp"
+#include "transport/udp.hpp"
 
 namespace delphi {
 namespace {
@@ -135,6 +142,50 @@ std::vector<DecoderCase> all_decoders() {
                      },
                      transport::encode_frame(3, payload, &key)});
   }
+  {
+    // UDP data datagram (authenticated): kind | seq | frame | seq-covering
+    // tag. A static key keeps the lambda capture-free.
+    static const crypto::HmacKey udp_key = [] {
+      crypto::Key k{};
+      k.fill(0xC3);
+      return crypto::HmacKey(k);
+    }();
+    const std::vector<std::uint8_t> payload = {4, 5, 6, 7, 8};
+    const auto body = transport::encode_frame_body(2, payload, /*auth=*/true);
+    const auto tag = transport::udp_frame_tag(udp_key, 11, *body);
+    cases.push_back({"udp_data",
+                     [](ByteReader& r) {
+                       transport::decode_datagram(r.raw(r.remaining()),
+                                                  &udp_key);
+                     },
+                     transport::encode_data_datagram(11, *body, &tag)});
+  }
+  {
+    // UDP ack datagram (authenticated): kind | cum | sack list | tag.
+    static const crypto::HmacKey udp_ack_key = [] {
+      crypto::Key k{};
+      k.fill(0x96);
+      return crypto::HmacKey(k);
+    }();
+    const std::uint32_t sacks[] = {5, 7, 9};
+    cases.push_back({"udp_ack",
+                     [](ByteReader& r) {
+                       transport::decode_datagram(r.raw(r.remaining()),
+                                                  &udp_ack_key);
+                     },
+                     transport::encode_ack_datagram(3, sacks, &udp_ack_key)});
+  }
+  {
+    // Plaintext UDP data datagram: structural checks only, no MAC.
+    const std::vector<std::uint8_t> payload = {1, 2, 3};
+    const auto body = transport::encode_frame_body(0, payload, /*auth=*/false);
+    cases.push_back({"udp_data_plain",
+                     [](ByteReader& r) {
+                       transport::decode_datagram(r.raw(r.remaining()),
+                                                  nullptr);
+                     },
+                     transport::encode_data_datagram(0, *body, nullptr)});
+  }
   return cases;
 }
 
@@ -201,6 +252,65 @@ TEST(FuzzDecode, ValidEncodingsStillDecodeAfterSuite) {
     ByteReader r(c.valid);
     EXPECT_NO_THROW(c.decode(r)) << c.name;
   }
+}
+
+// ------------------------------------------------------ udp datagram path
+
+TEST(UdpDatagram, RenumberedOrTamperedDatagramFailsAuthentication) {
+  // The UDP tag covers the sequence number, so a replayed datagram under a
+  // different seq (or any payload tamper) must fail the MAC — not decode as
+  // a fresh frame.
+  crypto::Key k{};
+  k.fill(0x42);
+  const crypto::HmacKey key(k);
+  const std::vector<std::uint8_t> payload = {10, 20, 30};
+  const auto body = transport::encode_frame_body(1, payload, /*auth=*/true);
+  const auto tag = transport::udp_frame_tag(key, 7, *body);
+  auto valid = transport::encode_data_datagram(7, *body, &tag);
+  EXPECT_NO_THROW(transport::decode_datagram(valid, &key));
+
+  auto renumbered = valid;
+  renumbered[1] ^= 0x01;  // seq byte: replay under a different number
+  EXPECT_THROW(transport::decode_datagram(renumbered, &key),
+               ProtocolViolation);
+
+  auto tampered = valid;
+  tampered[valid.size() - crypto::kMacTagSize - 1] ^= 0x80;  // payload byte
+  EXPECT_THROW(transport::decode_datagram(tampered, &key), ProtocolViolation);
+}
+
+TEST(UdpDatagram, HugeSackCountRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.u8(transport::kDatagramAck);
+  w.u32(0);
+  w.uvarint(1ULL << 40);  // astronomical claimed sack count
+  const auto bytes = w.take();
+  EXPECT_THROW(transport::decode_datagram(bytes, nullptr),
+               SerializationError);
+}
+
+TEST(UdpSeqFilter, DupAndReorderNeverMisdeliver) {
+  // Shuffle seqs 0..199 with every one duplicated three times: each must be
+  // accepted exactly once, in any arrival order, and the cumulative floor
+  // must reach 200 at the end.
+  Rng rng(0xD06);
+  std::vector<std::uint32_t> arrivals;
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    for (int copy = 0; copy < 3; ++copy) arrivals.push_back(s);
+  }
+  for (std::size_t i = arrivals.size(); i > 1; --i) {
+    std::swap(arrivals[i - 1], arrivals[rng.below(i)]);
+  }
+  transport::SeqFilter filter;
+  std::vector<int> accepted(200, 0);
+  for (const auto s : arrivals) {
+    if (filter.accept(s)) ++accepted[s];
+  }
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    ASSERT_EQ(accepted[s], 1) << "seq " << s;
+  }
+  EXPECT_EQ(filter.cum(), 200u);
+  EXPECT_EQ(filter.pending(), 0u);
 }
 
 }  // namespace

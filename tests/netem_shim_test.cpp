@@ -1,0 +1,332 @@
+/// Unit tests for the in-process netem shim (net/netem.hpp) and its scenario
+/// plumbing: the shim's schedule is a pure function of (config, from, to), so
+/// every behaviour — jitter bounds, token-bucket conformance, one-way
+/// partitions, burst LIFO, Gilbert–Elliott loss statistics — is pinned here
+/// without opening a single socket. The scenario-layer section pins the
+/// spec-text round-trip for the netem knobs and the exact substrate-support
+/// rejections ("did you mean substrate=udp?").
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/netem.hpp"
+#include "scenario/runtime.hpp"
+#include "scenario/spec.hpp"
+
+namespace delphi::net::netem {
+namespace {
+
+using Verdict = LinkShim::Verdict;
+
+// ----------------------------------------------------------- construction
+
+TEST(NetemConfig, DefaultConfigIsInert) {
+  EXPECT_FALSE(Config{}.active());
+  Config c;
+  c.jitter_max_us = 1;
+  EXPECT_TRUE(c.active());
+  c = Config{};
+  c.loss = 0.01;
+  EXPECT_TRUE(c.active());
+  c = Config{};
+  c.rate_bytes_per_us = 0.5;
+  EXPECT_TRUE(c.active());
+}
+
+TEST(NetemShim, DefaultShimSendsEverythingNow) {
+  LinkShim shim;
+  EXPECT_FALSE(shim.active());
+  for (int i = 0; i < 100; ++i) {
+    const auto v = shim.on_send(/*now_us=*/i * 10, /*wire_bytes=*/1000);
+    EXPECT_FALSE(v.drop);
+    EXPECT_LE(v.release_us, i * 10);
+  }
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(NetemShim, SameSeedSameSchedule) {
+  Config c;
+  c.seed = 77;
+  c.jitter_max_us = 8'000;
+  c.loss = 0.2;
+  LinkShim a(c, 1, 3);
+  LinkShim b(c, 1, 3);
+  for (SimTime t = 0; t < 2'000; ++t) {
+    const auto va = a.on_send(t * 50, 512);
+    const auto vb = b.on_send(t * 50, 512);
+    ASSERT_EQ(va.drop, vb.drop) << "diverged at step " << t;
+    ASSERT_EQ(va.release_us, vb.release_us) << "diverged at step " << t;
+    ASSERT_EQ(va.order, vb.order) << "diverged at step " << t;
+  }
+}
+
+TEST(NetemShim, DifferentSeedOrLinkDifferentSchedule) {
+  Config c;
+  c.seed = 77;
+  c.jitter_max_us = 8'000;
+  Config c2 = c;
+  c2.seed = 78;
+  LinkShim base(c, 1, 3);
+  LinkShim reseeded(c2, 1, 3);
+  LinkShim relinked(c, 2, 3);
+  bool seed_diverged = false;
+  bool link_diverged = false;
+  LinkShim base2(c, 1, 3);
+  for (SimTime t = 0; t < 200; ++t) {
+    const auto v = base.on_send(0, 64);
+    seed_diverged |= v.release_us != reseeded.on_send(0, 64).release_us;
+    link_diverged |= v.release_us != relinked.on_send(0, 64).release_us;
+  }
+  EXPECT_TRUE(seed_diverged);
+  EXPECT_TRUE(link_diverged);
+}
+
+// ------------------------------------------------------------------ jitter
+
+TEST(NetemShim, JitterWithinBoundsAndNonDegenerate) {
+  Config c;
+  c.jitter_max_us = 5'000;
+  LinkShim shim(c, 0, 1);
+  bool some_delay = false;
+  for (int i = 0; i < 1'000; ++i) {
+    const SimTime now = i * 17;
+    const auto v = shim.on_send(now, 256);
+    EXPECT_FALSE(v.drop);
+    ASSERT_GE(v.release_us, now);
+    ASSERT_LE(v.release_us, now + 5'000);
+    some_delay |= v.release_us > now;
+  }
+  EXPECT_TRUE(some_delay);
+}
+
+// ------------------------------------------------------------ targeted lag
+
+TEST(NetemShim, TargetedLagHitsOnlyTargetedLinks) {
+  Config c;
+  c.lag_k = 1;
+  c.lag_us = 30'000;
+  LinkShim from_target(c, 0, 2);
+  LinkShim to_target(c, 3, 0);
+  LinkShim bystander(c, 2, 3);
+  EXPECT_EQ(from_target.on_send(100, 64).release_us, 100 + 30'000);
+  EXPECT_EQ(to_target.on_send(100, 64).release_us, 100 + 30'000);
+  EXPECT_LE(bystander.on_send(100, 64).release_us, 100);
+}
+
+// -------------------------------------------------------------- partitions
+
+TEST(NetemShim, SymmetricPartitionBlocksBothDirectionsUntilHeal) {
+  Config c;
+  c.partition_k = 2;
+  c.heal_us = 200'000;
+  LinkShim out(c, 0, 3);   // group → rest
+  LinkShim in(c, 3, 1);    // rest → group
+  LinkShim inside(c, 0, 1);  // within the group: unaffected
+  LinkShim outside(c, 2, 3);  // within the rest: unaffected
+  // Before heal: held to heal + bounded jitter.
+  for (LinkShim* s : {&out, &in}) {
+    const auto v = s->on_send(10, 64);
+    EXPECT_GE(v.release_us, 200'000);
+    EXPECT_LE(v.release_us, 200'000 + 10'000);
+  }
+  EXPECT_LE(inside.on_send(10, 64).release_us, 10);
+  EXPECT_LE(outside.on_send(10, 64).release_us, 10);
+  // After heal: flows freely.
+  EXPECT_LE(out.on_send(250'000, 64).release_us, 250'000);
+  EXPECT_LE(in.on_send(250'000, 64).release_us, 250'000);
+}
+
+TEST(NetemShim, OneWayPartitionBlocksExactlyOneDirection) {
+  Config c;
+  c.partition_k = 1;
+  c.heal_us = 100'000;
+  c.oneway = true;
+  LinkShim blocked(c, 0, 2);    // group → rest: held
+  LinkShim reverse(c, 2, 0);    // rest → group: flows
+  EXPECT_GE(blocked.on_send(0, 64).release_us, 100'000);
+  EXPECT_LE(reverse.on_send(0, 64).release_us, 0);
+}
+
+// ------------------------------------------------------------ burst window
+
+TEST(NetemShim, BurstWindowReleasesLifoAtWindowEnd) {
+  Config c;
+  c.burst_period_us = 10'000;
+  LinkShim shim(c, 0, 1);
+  const auto a = shim.on_send(1'000, 64);
+  const auto b = shim.on_send(2'000, 64);
+  const auto d = shim.on_send(3'000, 64);
+  // All held to the end of window [0, 10'000).
+  EXPECT_EQ(a.release_us, 10'000);
+  EXPECT_EQ(b.release_us, 10'000);
+  EXPECT_EQ(d.release_us, 10'000);
+  // LIFO: a later send carries a *smaller* order key, so a (release, order)
+  // min-heap emits it first.
+  EXPECT_GT(a.order, b.order);
+  EXPECT_GT(b.order, d.order);
+  // Next window is independent.
+  const auto e = shim.on_send(12'000, 64);
+  EXPECT_EQ(e.release_us, 20'000);
+}
+
+// ------------------------------------------------------------ token bucket
+
+TEST(NetemShim, TokenBucketRateConformance) {
+  // 1 byte/µs line rate, 20 ms burst credit. 120'000 bytes of back-to-back
+  // sends at t=0 must schedule the tail at ≈ (120'000 − 20'000) / 1.0 µs.
+  Config c;
+  c.rate_bytes_per_us = 1.0;
+  LinkShim shim(c, 0, 1);
+  constexpr std::size_t kFrame = 1'000;
+  SimTime last_release = 0;
+  for (int i = 0; i < 120; ++i) {
+    const auto v = shim.on_send(0, kFrame);
+    EXPECT_FALSE(v.drop);
+    EXPECT_GE(v.release_us, last_release);  // FIFO within the queue discipline
+    last_release = v.release_us;
+  }
+  const double expected = (120.0 * kFrame - 20'000.0) / 1.0;
+  EXPECT_GT(static_cast<double>(last_release), expected * 0.9);
+  EXPECT_LT(static_cast<double>(last_release), expected * 1.1);
+  // After the queue drains, a fresh send at a late time goes out immediately.
+  EXPECT_LE(shim.on_send(1'000'000, kFrame).release_us, 1'000'000);
+}
+
+// -------------------------------------------------------------------- loss
+
+TEST(NetemShim, IndependentLossRateMatchesConfig) {
+  Config c;
+  c.loss = 0.25;
+  c.loss_burst_len = 1.0;
+  LinkShim shim(c, 0, 1);
+  int drops = 0;
+  constexpr int kSends = 4'000;
+  for (int i = 0; i < kSends; ++i) {
+    drops += shim.on_send(i, 64).drop ? 1 : 0;
+  }
+  const double rate = static_cast<double>(drops) / kSends;
+  EXPECT_GT(rate, 0.18);
+  EXPECT_LT(rate, 0.32);
+}
+
+TEST(NetemShim, BurstLossProducesLongRunsAtSameRate) {
+  Config c;
+  c.loss = 0.10;
+  c.loss_burst_len = 4.0;
+  LinkShim shim(c, 0, 1);
+  int drops = 0, runs = 0;
+  bool in_run = false;
+  constexpr int kSends = 20'000;
+  for (int i = 0; i < kSends; ++i) {
+    const bool drop = shim.on_send(i, 64).drop;
+    drops += drop ? 1 : 0;
+    runs += (drop && !in_run) ? 1 : 0;
+    in_run = drop;
+  }
+  // Stationary drop rate stays ≈ loss …
+  const double rate = static_cast<double>(drops) / kSends;
+  EXPECT_GT(rate, 0.06);
+  EXPECT_LT(rate, 0.14);
+  // … but grouped into runs of mean length ≈ loss_burst_len.
+  const double mean_run = static_cast<double>(drops) / runs;
+  EXPECT_GT(mean_run, 2.5);
+  EXPECT_LT(mean_run, 6.0);
+}
+
+}  // namespace
+}  // namespace delphi::net::netem
+
+// =============================================================== scenario
+
+namespace delphi::scenario {
+namespace {
+
+ScenarioSpec udp_spec() {
+  ScenarioSpec spec;
+  spec.protocol = "rbc";
+  spec.substrate = Substrate::kUdp;
+  spec.n = 4;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(NetemSpec, NetemKnobsRoundTripThroughSpecText) {
+  ScenarioSpec spec = udp_spec();
+  spec.adversary = parse_adversary("partition:2:100000");
+  spec.params["loss"] = 0.05;
+  spec.params["loss-burst"] = 4;
+  spec.params["rate-kbps"] = 500;
+  spec.params["rto-ms"] = 10;
+  const std::string text = spec.to_text();
+  EXPECT_NE(text.find("substrate=udp"), std::string::npos) << text;
+  EXPECT_NE(text.find("adversary=partition:2:100000"), std::string::npos)
+      << text;
+  const ScenarioSpec back = ScenarioSpec::from_text(text);
+  EXPECT_EQ(back, spec);
+  EXPECT_EQ(back.to_text(), text);
+}
+
+TEST(NetemSpec, ValidationRejectsOutOfRangeKnobs) {
+  for (const auto& [key, bad] : std::vector<std::pair<std::string, double>>{
+           {"loss", 1.0}, {"loss", -0.1}, {"loss-burst", 0.5},
+           {"rate-kbps", -1.0}, {"rto-ms", 0.0}}) {
+    ScenarioSpec spec = udp_spec();
+    spec.params[key] = bad;
+    EXPECT_THROW(spec.validate(), ConfigError) << key << "=" << bad;
+  }
+}
+
+TEST(NetemSpec, SimRejectsLossPointingAtUdp) {
+  ScenarioSpec spec = udp_spec();
+  spec.substrate = Substrate::kSim;
+  spec.params["loss"] = 0.05;
+  try {
+    SimRuntime().run(spec);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("substrate=udp"), std::string::npos) << msg;
+  }
+}
+
+TEST(NetemSpec, TcpRejectsRtoPointingAtUdp) {
+  ScenarioSpec spec = udp_spec();
+  spec.substrate = Substrate::kTcp;
+  spec.params["rto-ms"] = 10;
+  try {
+    TcpRuntime().run(spec);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("substrate=udp"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetemSpec, SimRejectsRateShaping) {
+  ScenarioSpec spec = udp_spec();
+  spec.substrate = Substrate::kSim;
+  spec.params["rate-kbps"] = 500;
+  EXPECT_THROW(SimRuntime().run(spec), ConfigError);
+}
+
+TEST(NetemSpec, UdpRejectsFifoPointingAtOrderedSubstrates) {
+  ScenarioSpec spec = udp_spec();
+  spec.params["fifo"] = 1;
+  try {
+    UdpRuntime().run(spec);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("substrate=sim"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("substrate=tcp"), std::string::npos) << msg;
+  }
+}
+
+}  // namespace
+}  // namespace delphi::scenario

@@ -5,7 +5,7 @@
 /// (src/scenario/): every invocation is a ScenarioSpec, and specs round-trip
 /// through text for files/scripts (see SCENARIOS.md).
 ///
-///   delphi_cli run    --protocol delphi --transport sim|tcp --testbed aws
+///   delphi_cli run    --protocol delphi --transport sim|tcp|udp --testbed aws
 ///                     --n 64 [--delta 20] [--center 40000] [--seed 1]
 ///                     [--crashes 0] [--t auto] [--rho0 10] [--eps 2]
 ///                     [--delta-max 2000] [--rounds 10] [--csv] [--verbose]
@@ -22,7 +22,9 @@
 ///
 /// Protocols: whatever the registry holds — delphi, binaa, abraham, dolev,
 /// benor, aba, rbc, acs (alias fin), multidim, dora out of the box.
-/// Testbeds: aws | cps | async | fast (sim substrate; tcp is real I/O).
+/// Testbeds: aws | cps | async | fast (sim substrate; tcp/udp are real I/O,
+/// optionally shaped by the in-process netem shim: --loss / --loss-burst /
+/// --rate-kbps / --rto-ms plus every --adversary form).
 
 #include <algorithm>
 #include <cerrno>
@@ -49,12 +51,14 @@ namespace {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n\n", msg);
   std::fprintf(stderr, R"(usage:
-  delphi_cli run   --protocol NAME --transport sim|tcp
+  delphi_cli run   --protocol NAME --transport sim|tcp|udp
                    --testbed aws|cps|async|fast --n N
                    [--delta D] [--center C] [--seed S] [--crashes K] [--t T]
                    [--adversary none|random-delay:<max_us>|targeted-lag:<k>:<lag_us>
                                |partition:<k>:<heal_us>|burst:<period_us>]
                    [--byzantine none|crash-after:<sends>:<k>|garbage:<size>:<k>]
+                   [--loss P] [--loss-burst L] [--rate-kbps R] [--rto-ms MS]
+                   (loss knobs need --transport udp; rate-kbps shapes tcp too)
                    [--rho0 R] [--eps E] [--delta-max DM] [--space-max SM]
                    [--rounds R] [--jobs J] [--csv] [--verbose]
   delphi_cli run   --spec 'protocol=... n=... key=value ...' [--csv]
@@ -174,8 +178,10 @@ ScenarioSpec parse_spec(Flags& f) {
     spec.substrate = scenario::Substrate::kSim;
   } else if (transport == "tcp") {
     spec.substrate = scenario::Substrate::kTcp;
+  } else if (transport == "udp") {
+    spec.substrate = scenario::Substrate::kUdp;
   } else {
-    usage("--transport must be sim or tcp");
+    usage("--transport must be sim, tcp or udp");
   }
   const std::string tb = f.str("testbed", "aws");
   if (tb == "aws") {
@@ -231,8 +237,9 @@ ScenarioSpec parse_spec(Flags& f) {
   // Optional knobs land in params only when given (registry entries default
   // the rest per protocol).
   for (const char* key : {"r-max", "dims", "coin-us", "coin-seed", "max-rounds",
-                          "timeout-ms", "auth", "fifo", "compact",
-                          "broadcaster", "sign-us", "verify-us", "keys-seed"}) {
+                          "timeout-ms", "auth", "fifo", "nodelay", "compact",
+                          "broadcaster", "sign-us", "verify-us", "keys-seed",
+                          "loss", "loss-burst", "rate-kbps", "rto-ms"}) {
     if (f.has(key)) spec.params[key] = f.num(key, 0.0);
   }
   return spec;
