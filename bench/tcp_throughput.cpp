@@ -9,8 +9,14 @@
 ///   2. Link flood: a windowed credit protocol saturates the authenticated
 ///      TCP mesh with fixed-size broadcast frames and measures delivered
 ///      frames/s and MB/s (payload size x auth on/off x n).
-///   3. Scenario sweep: protocol x n x auth through ScenarioSpec/TcpRuntime —
-///      the end-to-end numbers every future TCP scenario inherits.
+///   3. Multi-instance flood: the same flood split across k concurrent
+///      SessionMux instances over ONE mesh (instances in {1,2,4,8} x n) —
+///      frames from every instance funnel through the same per-link outq and
+///      gathered-writev staging, so aggregate authenticated frames/s must
+///      hold at (or above) the single-instance baseline.
+///   4. Scenario sweep: protocol x n x auth x instances through
+///      ScenarioSpec/TcpRuntime — the end-to-end numbers every future TCP
+///      scenario inherits.
 ///
 /// Emitted through bench/run_all.sh as BENCH_tcp_throughput.json so the TCP
 /// axis can no longer rot invisibly.
@@ -20,6 +26,7 @@
 #include <memory>
 
 #include "bench/bench_util.hpp"
+#include "net/mux.hpp"
 #include "transport/decoders.hpp"
 #include "transport/tcp.hpp"
 
@@ -174,6 +181,57 @@ FloodResult run_flood(std::size_t n, std::size_t payload, bool auth,
   return res;
 }
 
+// ------------------------------------------------- multi-instance flood
+
+constexpr std::uint32_t kMuxStride = 1u << 16;
+
+/// The flood decoder behind a mux: wire channels are sid*stride + c.
+transport::Decoder mux_flood_decoder() {
+  const auto inner = flood_decoder();
+  return [inner](std::uint32_t channel, ByteReader& r) {
+    return inner(channel % kMuxStride, r);
+  };
+}
+
+/// `instances` concurrent flood sessions over one mesh via SessionMux, each
+/// broadcasting `per_instance` frames under its own credit window.
+FloodResult run_mux_flood(std::size_t n, std::size_t payload, bool auth,
+                          std::uint32_t per_instance,
+                          std::uint32_t instances) {
+  transport::TcpCluster::Options opts;
+  opts.n = n;
+  opts.auth = auth;
+  opts.seed = 42;
+  opts.timeout_ms = 120'000;
+  transport::TcpCluster cluster(opts);
+  const auto t0 = Clock::now();
+  cluster.start(
+      [&](NodeId i) -> std::unique_ptr<net::Protocol> {
+        net::SessionMux::Config c;
+        c.expected = instances;
+        c.stride = kMuxStride;
+        c.mode = net::SessionMux::Mode::kConcurrent;
+        return std::make_unique<net::SessionMux>(
+            c, [i, per_instance, payload](std::uint32_t)
+                   -> std::unique_ptr<net::Protocol> {
+              if (i == 0) {
+                return std::make_unique<FloodSender>(per_instance, payload);
+              }
+              return std::make_unique<FloodReceiver>(per_instance);
+            });
+      },
+      mux_flood_decoder());
+  FloodResult res;
+  res.ok = cluster.wait();
+  res.wall_s = seconds_since(t0);
+  if (res.ok) {
+    res.frames =
+        static_cast<std::uint64_t>(n - 1) * per_instance * instances;
+    res.bytes = cluster.metrics(0).bytes_sent;
+  }
+  return res;
+}
+
 // --------------------------------------------------------- fan-out section
 
 /// ns per destination for framing one `payload_size`-byte broadcast to
@@ -229,12 +287,14 @@ FanoutCost measure_fanout(std::size_t payload_size, std::size_t fanout,
 // ---------------------------------------------------------- scenario suite
 
 scenario::ScenarioSpec protocol_spec(const std::string& protocol,
-                                     std::size_t n, bool auth) {
+                                     std::size_t n, bool auth,
+                                     std::size_t instances) {
   scenario::ScenarioSpec spec;
   spec.protocol = protocol;
   spec.substrate = scenario::Substrate::kTcp;
   spec.n = n;
   spec.seed = 7;
+  spec.instances = instances;  // concurrent feeds over one mesh
   spec.params["auth"] = auth ? 1.0 : 0.0;
   spec.params["timeout-ms"] = 120'000;
   if (protocol == "dolev") spec.params["rounds"] = 6;
@@ -246,8 +306,9 @@ scenario::ScenarioSpec protocol_spec(const std::string& protocol,
 int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
   print_title("TCP data-plane throughput (real localhost sockets)",
-              "Flood: windowed broadcast of fixed-size frames; sweep: "
-              "protocol x n x auth through ScenarioSpec/TcpRuntime.");
+              "Flood: windowed broadcast of fixed-size frames (single- and "
+              "multi-instance over one mesh); sweep: protocol x n x auth x "
+              "instances through ScenarioSpec/TcpRuntime.");
 
   int failures = 0;
 
@@ -295,32 +356,68 @@ int main(int argc, char** argv) {
               fw);
   }
 
+  // ---- multi-instance flood --------------------------------------------
+  // The ROADMAP amortization target: k feeds over ONE mesh must sustain
+  // aggregate authenticated frames/s at or above the single-instance
+  // baseline (~1.36 M at n=4), because cross-instance backlogs coalesce in
+  // the per-link staging/writev path. Total frames are held constant across
+  // the axis so rows are directly comparable.
+  std::printf("\n-- multi-instance flood (64 B, auth on, SessionMux over one "
+              "mesh) --\n");
+  const std::vector<int> mw = {6, 10, 10, 10, 12, 10};
+  print_row({"n", "instances", "frames", "wall s", "frames/s", "vs x1"}, mw);
+  for (const std::size_t n : {2u, 4u}) {
+    const std::uint32_t total = quick ? 24'000 : 96'000;
+    double base_fps = 0.0;
+    for (const std::uint32_t instances : {1u, 2u, 4u, 8u}) {
+      const auto r = run_mux_flood(n, 64, true, total / instances, instances);
+      if (!r.ok) ++failures;
+      const double fps = r.ok ? static_cast<double>(r.frames) / r.wall_s : 0.0;
+      if (instances == 1) base_fps = fps;
+      print_row({std::to_string(n), std::to_string(instances),
+                 fmt_int(r.frames), fmt(r.wall_s, 3),
+                 fmt_int(static_cast<std::uint64_t>(fps)),
+                 base_fps > 0.0 ? fmt(fps / base_fps, 2) + "x" : "-"},
+                mw);
+    }
+  }
+
   // ---- protocol sweep ---------------------------------------------------
   std::printf("\n-- protocol sweep over TcpRuntime --\n");
-  const std::vector<int> sw = {10, 6, 6, 12, 10, 12, 10};
-  print_row({"protocol", "n", "auth", "runtime ms", "MB", "frames/s", "ok"},
-            sw);
+  const std::vector<int> sw = {10, 6, 6, 6, 12, 10, 12, 10};
+  print_row(
+      {"protocol", "n", "auth", "inst", "runtime ms", "MB", "frames/s", "ok"},
+      sw);
   const std::vector<std::string> protocols =
       quick ? std::vector<std::string>{"dolev", "delphi"}
             : std::vector<std::string>{"dolev", "rbc", "delphi"};
   const std::vector<std::size_t> sizes =
       quick ? std::vector<std::size_t>{4} : std::vector<std::size_t>{4, 7};
+  const std::vector<std::size_t> inst_axis =
+      quick ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8};
   for (const auto& protocol : protocols) {
     for (const std::size_t n : sizes) {
-      for (const bool auth : {true, false}) {
-        const auto spec = protocol_spec(protocol, n, auth);
-        const auto rep = scenario::TcpRuntime().run(spec);
-        if (!rep.ok) ++failures;
-        const double fps =
-            rep.ok && rep.runtime_ms > 0.0
-                ? static_cast<double>(rep.honest_msgs) / (rep.runtime_ms / 1e3)
-                : 0.0;
-        print_row({protocol, std::to_string(n), auth ? "on" : "off",
-                   fmt(rep.runtime_ms, 2),
-                   fmt(static_cast<double>(rep.honest_bytes) / 1e6, 3),
-                   fmt_int(static_cast<std::uint64_t>(fps)),
-                   rep.ok ? "yes" : "NO"},
-                  sw);
+      for (const std::size_t instances : inst_axis) {
+        // The auth toggle only matters for the single-instance rows; the
+        // instances axis is about aggregate authenticated throughput.
+        for (const bool auth : instances == 1
+                                   ? std::vector<bool>{true, false}
+                                   : std::vector<bool>{true}) {
+          const auto spec = protocol_spec(protocol, n, auth, instances);
+          const auto rep = scenario::TcpRuntime().run(spec);
+          if (!rep.ok) ++failures;
+          const double fps = rep.ok && rep.runtime_ms > 0.0
+                                 ? static_cast<double>(rep.honest_msgs) /
+                                       (rep.runtime_ms / 1e3)
+                                 : 0.0;
+          print_row({protocol, std::to_string(n), auth ? "on" : "off",
+                     std::to_string(instances), fmt(rep.runtime_ms, 2),
+                     fmt(static_cast<double>(rep.honest_bytes) / 1e6, 3),
+                     fmt_int(static_cast<std::uint64_t>(fps)),
+                     rep.ok ? "yes" : "NO"},
+                    sw);
+        }
       }
     }
   }

@@ -5,10 +5,13 @@
 ///      authenticated UDP mesh with fixed-size broadcast frames (one frame
 ///      per datagram, selective-repeat ARQ underneath) and measures
 ///      delivered frames/s and MB/s (payload size x auth on/off x n).
-///   2. Scenario sweep: protocol x auth through ScenarioSpec/UdpRuntime on
-///      a clean localhost link — the end-to-end numbers every future UDP
-///      scenario inherits.
-///   3. Loss sweep: rbc and dolev at 0 / 1% / 5% shim loss — the ARQ
+///   2. Multi-instance flood: the same flood split across k concurrent
+///      SessionMux instances over one datagram mesh (instances in {1,2,4,8})
+///      — the udp counterpart of bench_tcp_throughput's instances axis.
+///   3. Scenario sweep: protocol x auth x instances through
+///      ScenarioSpec/UdpRuntime on a clean localhost link — the end-to-end
+///      numbers every future UDP scenario inherits.
+///   4. Loss sweep: rbc and dolev at 0 / 1% / 5% shim loss — the ARQ
 ///      recovery price in wall-clock time and retransmit-free logical
 ///      traffic (honest bytes count logical sends only, so the MB column
 ///      stays flat while runtime grows).
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "net/mux.hpp"
 #include "transport/udp.hpp"
 
 using namespace delphi;
@@ -180,15 +184,70 @@ FloodResult run_flood(std::size_t n, std::size_t payload, bool auth,
   return res;
 }
 
+// ------------------------------------------------- multi-instance flood
+
+constexpr std::uint32_t kMuxStride = 1u << 16;
+
+/// The flood decoder behind a mux: wire channels are sid*stride + c.
+transport::Decoder mux_flood_decoder() {
+  const auto inner = flood_decoder();
+  return [inner](std::uint32_t channel, ByteReader& r) {
+    return inner(channel % kMuxStride, r);
+  };
+}
+
+/// `instances` concurrent flood sessions over one datagram mesh via
+/// SessionMux, each broadcasting `per_instance` frames under its own credit
+/// window (so total in-flight frames scale with the instance count — the ARQ
+/// keeps every instance's unacked set independently).
+FloodResult run_mux_flood(std::size_t n, std::size_t payload, bool auth,
+                          std::uint32_t per_instance,
+                          std::uint32_t instances) {
+  transport::UdpMesh::Options opts;
+  opts.n = n;
+  opts.auth = auth;
+  opts.seed = 42;
+  opts.timeout_ms = 120'000;
+  transport::UdpMesh mesh(opts);
+  const auto t0 = Clock::now();
+  mesh.start(
+      [&](NodeId i) -> std::unique_ptr<net::Protocol> {
+        net::SessionMux::Config c;
+        c.expected = instances;
+        c.stride = kMuxStride;
+        c.mode = net::SessionMux::Mode::kConcurrent;
+        return std::make_unique<net::SessionMux>(
+            c, [i, per_instance, payload](std::uint32_t)
+                   -> std::unique_ptr<net::Protocol> {
+              if (i == 0) {
+                return std::make_unique<FloodSender>(per_instance, payload);
+              }
+              return std::make_unique<FloodReceiver>(per_instance);
+            });
+      },
+      mux_flood_decoder());
+  FloodResult res;
+  res.ok = mesh.wait();
+  res.wall_s = seconds_since(t0);
+  if (res.ok) {
+    res.frames =
+        static_cast<std::uint64_t>(n - 1) * per_instance * instances;
+    res.bytes = mesh.metrics(0).bytes_sent;
+  }
+  return res;
+}
+
 // ---------------------------------------------------------- scenario suite
 
 scenario::ScenarioSpec protocol_spec(const std::string& protocol,
-                                     std::size_t n, bool auth) {
+                                     std::size_t n, bool auth,
+                                     std::size_t instances = 1) {
   scenario::ScenarioSpec spec;
   spec.protocol = protocol;
   spec.substrate = scenario::Substrate::kUdp;
   spec.n = n;
   spec.seed = 7;
+  spec.instances = instances;
   spec.params["auth"] = auth ? 1.0 : 0.0;
   spec.params["timeout-ms"] = 120'000;
   if (protocol == "dolev") spec.params["rounds"] = 6;
@@ -202,8 +261,9 @@ int main(int argc, char** argv) {
   const bool quick = quick_mode(argc, argv);
   print_title("UDP datagram-plane throughput (real localhost sockets)",
               "Flood: windowed broadcast, one frame per datagram over "
-              "selective-repeat ARQ; sweeps through ScenarioSpec/UdpRuntime, "
-              "with and without shim loss.");
+              "selective-repeat ARQ (single- and multi-instance over one "
+              "mesh); sweeps through ScenarioSpec/UdpRuntime, with and "
+              "without shim loss.");
 
   int failures = 0;
 
@@ -235,28 +295,56 @@ int main(int argc, char** argv) {
               fw);
   }
 
+  // ---- multi-instance flood --------------------------------------------
+  // The datagram counterpart of bench_tcp_throughput's instances axis: k
+  // concurrent feeds over one UDP mesh, total frames held constant across
+  // the axis so rows are directly comparable.
+  std::printf("\n-- multi-instance flood (64 B, auth on, SessionMux over one "
+              "mesh, n=4) --\n");
+  const std::vector<int> mw = {10, 10, 10, 12, 10};
+  print_row({"instances", "frames", "wall s", "frames/s", "vs x1"}, mw);
+  {
+    const std::uint32_t total = quick ? 8'000 : 24'000;
+    double base_fps = 0.0;
+    for (const std::uint32_t instances : {1u, 2u, 4u, 8u}) {
+      const auto r = run_mux_flood(4, 64, true, total / instances, instances);
+      if (!r.ok) ++failures;
+      const double fps = r.ok ? static_cast<double>(r.frames) / r.wall_s : 0.0;
+      if (instances == 1) base_fps = fps;
+      print_row({std::to_string(instances), fmt_int(r.frames),
+                 fmt(r.wall_s, 3), fmt_int(static_cast<std::uint64_t>(fps)),
+                 base_fps > 0.0 ? fmt(fps / base_fps, 2) + "x" : "-"},
+                mw);
+    }
+  }
+
   // ---- protocol sweep ---------------------------------------------------
   std::printf("\n-- protocol sweep over UdpRuntime --\n");
-  const std::vector<int> sw = {10, 6, 6, 12, 10, 12, 10};
-  print_row({"protocol", "n", "auth", "runtime ms", "MB", "frames/s", "ok"},
-            sw);
+  const std::vector<int> sw = {10, 6, 6, 6, 12, 10, 12, 10};
+  print_row(
+      {"protocol", "n", "auth", "inst", "runtime ms", "MB", "frames/s", "ok"},
+      sw);
   const std::vector<std::string> protocols =
       quick ? std::vector<std::string>{"rbc", "dolev"}
             : std::vector<std::string>{"rbc", "dolev", "delphi"};
   for (const auto& protocol : protocols) {
-    for (const bool auth : {true, false}) {
-      const auto spec = protocol_spec(protocol, 4, auth);
-      const auto rep = scenario::UdpRuntime().run(spec);
-      if (!rep.ok) ++failures;
-      const double fps =
-          rep.ok && rep.runtime_ms > 0.0
-              ? static_cast<double>(rep.honest_msgs) / (rep.runtime_ms / 1e3)
-              : 0.0;
-      print_row({protocol, "4", auth ? "on" : "off", fmt(rep.runtime_ms, 2),
-                 fmt(static_cast<double>(rep.honest_bytes) / 1e6, 3),
-                 fmt_int(static_cast<std::uint64_t>(fps)),
-                 rep.ok ? "yes" : "NO"},
-                sw);
+    for (const std::size_t instances : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool auth : instances == 1 ? std::vector<bool>{true, false}
+                                            : std::vector<bool>{true}) {
+        const auto spec = protocol_spec(protocol, 4, auth, instances);
+        const auto rep = scenario::UdpRuntime().run(spec);
+        if (!rep.ok) ++failures;
+        const double fps =
+            rep.ok && rep.runtime_ms > 0.0
+                ? static_cast<double>(rep.honest_msgs) / (rep.runtime_ms / 1e3)
+                : 0.0;
+        print_row({protocol, "4", auth ? "on" : "off",
+                   std::to_string(instances), fmt(rep.runtime_ms, 2),
+                   fmt(static_cast<double>(rep.honest_bytes) / 1e6, 3),
+                   fmt_int(static_cast<std::uint64_t>(fps)),
+                   rep.ok ? "yes" : "NO"},
+                  sw);
+      }
     }
   }
 

@@ -1,5 +1,6 @@
 #include "net/mux.hpp"
 
+#include <bit>
 #include <limits>
 
 #include "common/error.hpp"
@@ -41,6 +42,9 @@ SessionMux::SessionMux(Config cfg, SessionFactory factory)
       std::numeric_limits<std::uint32_t>::max()) {
     throw ConfigError("SessionMux: expected * stride overflows channel space");
   }
+  if ((cfg_.stride & (cfg_.stride - 1)) == 0) {
+    shift_ = std::countr_zero(cfg_.stride);
+  }
   sessions_.resize(cfg_.expected);
   finished_.assign(cfg_.expected, false);
 }
@@ -72,22 +76,41 @@ void SessionMux::ensure_open(Context& ctx, std::uint32_t sid) {
 
 void SessionMux::on_message(Context& ctx, NodeId from, std::uint32_t channel,
                             const MessageBody& body) {
-  const std::uint32_t sid = channel / cfg_.stride;
+  const std::uint32_t sid = sid_of(channel);
   DELPHI_REQUIRE(sid < cfg_.expected, "SessionMux: channel beyond sessions");
   // Lazy open: a peer already progressed into this session.
   ensure_open(ctx, sid);
   WindowContext wctx(ctx, sid * cfg_.stride);
-  sessions_[sid]->on_message(wctx, from, channel % cfg_.stride, body);
+  sessions_[sid]->on_message(wctx, from, offset_of(channel), body);
   after_delivery(ctx, sid);
 }
 
 void SessionMux::after_delivery(Context& ctx, std::uint32_t sid) {
-  if (finished_[sid] || !sessions_[sid]->terminated()) return;
-  finished_[sid] = true;
-  ++done_;
-  if (cfg_.mode == Mode::kSequential && sid + 1 < cfg_.expected) {
-    ensure_open(ctx, sid + 1);
-    after_delivery(ctx, sid + 1);  // degenerate immediate termination
+  if (!finished_[sid]) {
+    if (!sessions_[sid]->terminated()) return;
+    finished_[sid] = true;
+    ++done_;
+  }
+  if (cfg_.mode != Mode::kSequential) return;
+  // Advance the chain frontier. A lazily-opened successor may terminate
+  // before its predecessor (a fast peer ran ahead), so the frontier must
+  // skip every already-finished session — stopping at the first finished
+  // successor would strand the sessions beyond it forever. Only the
+  // frontier session is ever opened here: sessions past it wait until
+  // their turn (or a peer's traffic opens them lazily). The outer loop
+  // re-settles because a freshly opened session may terminate inside its
+  // own on_start (degenerate protocols).
+  while (true) {
+    while (chain_next_ < cfg_.expected && finished_[chain_next_]) {
+      ++chain_next_;
+    }
+    if (chain_next_ >= cfg_.expected || sessions_[chain_next_] != nullptr) {
+      return;
+    }
+    ensure_open(ctx, chain_next_);
+    if (!sessions_[chain_next_]->terminated()) return;
+    finished_[chain_next_] = true;
+    ++done_;
   }
 }
 

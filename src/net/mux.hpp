@@ -68,15 +68,29 @@ class SessionMux final : public Protocol {
 
   /// Open (build + start) session sid if not yet open.
   void ensure_open(Context& ctx, std::uint32_t sid);
-  /// Track a session's termination edge; sequential mode chains the next.
+  /// Track a session's termination edge; sequential mode advances the chain
+  /// frontier (skipping sessions that lazily opened and already finished).
   void after_delivery(Context& ctx, std::uint32_t sid);
+
+  /// channel → sid without a per-message divide when stride is a power of
+  /// two (it always is in practice: the default window is 2^16).
+  std::uint32_t sid_of(std::uint32_t channel) const noexcept {
+    return shift_ >= 0 ? channel >> shift_ : channel / cfg_.stride;
+  }
+  std::uint32_t offset_of(std::uint32_t channel) const noexcept {
+    return shift_ >= 0 ? channel & (cfg_.stride - 1) : channel % cfg_.stride;
+  }
 
   Config cfg_;
   SessionFactory factory_;
+  int shift_ = -1;  ///< log2(stride) when stride is a power of two, else -1
   std::vector<std::unique_ptr<Protocol>> sessions_;
   std::vector<bool> finished_;
   std::size_t open_ = 0;
   std::uint32_t done_ = 0;
+  /// Sequential-chain frontier: the lowest sid not yet finished. Everything
+  /// below it is finished; the chain only ever opens the frontier session.
+  std::uint32_t chain_next_ = 0;
 };
 
 }  // namespace delphi::net

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "net/mux.hpp"
 #include "net/netem.hpp"
 #include "scenario/registry.hpp"
 #include "sim/byzantine.hpp"
@@ -74,6 +75,74 @@ net::ProtocolFactory with_faults(net::ProtocolFactory inner,
     }
     return inner(i);
   };
+}
+
+/// Channels per SessionMux instance window. Kept at the mux default so every
+/// registered suite's channel layout fits (the widest, abraham, uses
+/// rounds*(n+1)+1 channels).
+constexpr std::uint32_t kMuxStride = 1u << 16;
+
+/// Per-instance honest inputs: explicit inputs pin the workload for every
+/// feed; generated workloads draw a distinct clustered set per feed, with
+/// instance 0 matching the single-instance generator (seed + n) exactly.
+std::vector<double> instance_inputs(const ScenarioSpec& rs,
+                                    std::uint32_t sid) {
+  if (!rs.inputs.empty()) return rs.make_inputs();
+  return clustered_inputs(rs.n, rs.center, rs.delta, rs.seed + rs.n + sid);
+}
+
+/// The honest per-node factory: the suite's own factory at instances == 1, a
+/// SessionMux wrapping one suite instance per session window otherwise. Each
+/// instance gets its own inner factory built up front (owning that
+/// instance's shared deployment state — coins, key stores — across all
+/// nodes) with a distinct derived seed, so concurrent feeds don't share coin
+/// sessions.
+net::ProtocolFactory make_node_factory(const ProtocolInfo& info,
+                                       const ScenarioSpec& rs) {
+  if (rs.instances <= 1) return info.make_factory(rs, rs.make_inputs());
+  auto inners = std::make_shared<std::vector<net::ProtocolFactory>>();
+  for (std::uint32_t sid = 0; sid < rs.instances; ++sid) {
+    ScenarioSpec is = rs;
+    is.seed = rs.seed + sid;
+    inners->push_back(info.make_factory(is, instance_inputs(rs, sid)));
+  }
+  net::SessionMux::Config cfg;
+  cfg.expected = static_cast<std::uint32_t>(rs.instances);
+  cfg.stride = kMuxStride;
+  cfg.mode = rs.mux_mode == MuxMode::kSequential
+                 ? net::SessionMux::Mode::kSequential
+                 : net::SessionMux::Mode::kConcurrent;
+  return [inners, cfg](NodeId i) -> std::unique_ptr<net::Protocol> {
+    return std::make_unique<net::SessionMux>(
+        cfg, [inners, i](std::uint32_t sid) { return (*inners)[sid](i); });
+  };
+}
+
+/// Socket-substrate payload decoder: under a mux the wire channel is
+/// sid * stride + c, while suite decoders map in-window channels — fold the
+/// window offset away before dispatch.
+transport::Decoder make_node_decoder(const ProtocolInfo& info,
+                                     const ScenarioSpec& rs) {
+  auto inner = info.make_decoder(rs);
+  if (rs.instances <= 1) return inner;
+  return [inner = std::move(inner)](std::uint32_t channel, ByteReader& r) {
+    return inner(channel % kMuxStride, r);
+  };
+}
+
+/// Harvest one honest node's outputs: per instance through the mux (every
+/// feed reports, in sid order — never-opened sessions of an unfinished
+/// sequential chain contribute nothing), directly otherwise.
+void harvest_node(const ProtocolInfo& info, const net::Protocol& node,
+                  std::size_t instances, std::vector<double>& out) {
+  if (instances <= 1) {
+    info.harvest(node, out);
+    return;
+  }
+  const auto& mux = dynamic_cast<const net::SessionMux&>(node);
+  for (std::uint32_t sid = 0; sid < instances; ++sid) {
+    if (const auto* s = mux.session(sid)) info.harvest(*s, out);
+  }
 }
 
 /// Materialize the spec's network adversary (nullptr = benign network, the
@@ -183,12 +252,15 @@ RunReport run_cluster(const ProtocolInfo& info, const ScenarioSpec& rs,
   const auto crashed = crash_set(rs);
   auto faulted = crashed;
   faulted.merge(byzantine_set(rs));
-  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
-                                   crashed, byzantine_set(rs), rs.byzantine);
+  // Faults wrap the whole node: a crashed node is silent across every
+  // instance, crash-after counts sends across the pipeline — the same
+  // composition on every substrate.
+  const auto factory = with_faults(make_node_factory(info, rs), crashed,
+                                   byzantine_set(rs), rs.byzantine);
 
   Cluster cluster(opts);
   const auto start = std::chrono::steady_clock::now();
-  cluster.start(factory, info.make_decoder(rs));
+  cluster.start(factory, make_node_decoder(info, rs));
 
   RunReport rep;
   rep.ok = cluster.wait();
@@ -204,7 +276,7 @@ RunReport run_cluster(const ProtocolInfo& info, const ScenarioSpec& rs,
     if (!faulted.contains(i)) {
       rep.honest_bytes += m.bytes_sent;
       rep.honest_msgs += m.msgs_sent;
-      info.harvest(cluster.protocol(i), rep.outputs);
+      harvest_node(info, cluster.protocol(i), rs.instances, rep.outputs);
     }
   }
   // wait() reports faulted nodes as done (SilentProtocol and the Byzantine
@@ -259,8 +331,8 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
   faulted.merge(byzantine_set(rs));
   // The factory may own shared deployment state (coins, keys); it must
   // outlive the simulator, so it is declared first.
-  const auto factory = with_faults(info.make_factory(rs, rs.make_inputs()),
-                                   crashed, byzantine_set(rs), rs.byzantine);
+  const auto factory = with_faults(make_node_factory(info, rs), crashed,
+                                   byzantine_set(rs), rs.byzantine);
 
   sim::Simulator sim(cfg);
   for (NodeId i = 0; i < rs.n; ++i) sim.add_node(factory(i));
@@ -280,7 +352,7 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
                     m.malformed_dropped, m.terminated_at};
     if (!faulted.contains(i)) {
       if (m.terminated_at < 0) rep.unfinished.push_back(i);
-      info.harvest(sim.node(i), rep.outputs);
+      harvest_node(info, sim.node(i), rs.instances, rep.outputs);
     }
   }
   return rep;

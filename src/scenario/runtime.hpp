@@ -11,6 +11,11 @@
 /// built by the ProtocolRegistry, and all report through the same RunReport
 /// — the merge of the historical sim::RunOutcome, bench::Result, and
 /// transport::TransportMetrics mini-APIs.
+///
+/// Multi-instance runs: when spec.instances > 1, every runtime wraps each
+/// node's protocol in a net::SessionMux (2^16-channel windows, concurrent or
+/// sequential per spec.mux_mode), shares the one mesh across all instances,
+/// and harvests every instance's outputs into the report.
 
 #include <cstdint>
 #include <vector>
@@ -49,7 +54,9 @@ struct RunReport {
   std::uint64_t honest_msgs = 0;
   /// Harvested outputs of honest nodes, in node-id order (vector-valued
   /// protocols contribute all coordinates; non-terminated nodes contribute
-  /// nothing).
+  /// nothing). Multi-instance runs (spec.instances > 1) append every
+  /// instance's outputs per node, in instance order — all k feeds report,
+  /// not just feed 0.
   std::vector<double> outputs;
   /// All n nodes' counters, in node-id order.
   std::vector<NodeCounters> nodes;

@@ -190,6 +190,16 @@ const char* to_string(Substrate s) noexcept {
   return "?";
 }
 
+const char* to_string(MuxMode m) noexcept {
+  switch (m) {
+    case MuxMode::kConcurrent:
+      return "concurrent";
+    case MuxMode::kSequential:
+      return "sequential";
+  }
+  return "?";
+}
+
 const char* to_string(TestbedKind tb) noexcept {
   switch (tb) {
     case TestbedKind::kAws:
@@ -246,6 +256,14 @@ void ScenarioSpec::validate() const {
   if (!inputs.empty() && inputs.size() != n) {
     throw ConfigError("scenario: explicit inputs size != n");
   }
+  if (instances < 1) throw ConfigError("scenario: instances must be >= 1");
+  // Each instance owns a 2^16-channel SessionMux window of the 32-bit
+  // channel space, so 2^16 instances is the hard ceiling.
+  if (instances > (std::size_t{1} << 16)) {
+    throw ConfigError(
+        "scenario: instances must be <= 65536 (each instance owns a "
+        "2^16-channel window of the 32-bit channel space)");
+  }
   // Netem shim knob ranges (substrate support is checked by the runtimes;
   // the ranges are wrong on every substrate).
   const double loss = param("loss", 0.0);
@@ -286,8 +304,9 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 /// protocol's parameter keys (a typo'd fixed key lands in params too).
 const std::vector<std::string>& fixed_spec_keys() {
   static const std::vector<std::string> keys = {
-      "protocol", "substrate", "testbed",   "n",     "t",      "crashes",
-      "adversary", "byzantine", "seed",     "center", "delta", "inputs"};
+      "protocol",  "substrate", "testbed", "n",        "t",
+      "crashes",   "instances", "mux-mode", "adversary", "byzantine",
+      "seed",      "center",    "delta",   "inputs"};
   return keys;
 }
 
@@ -338,6 +357,12 @@ std::string ScenarioSpec::to_text() const {
     os << t;
   }
   os << " crashes=" << crashes;
+  // Mux fields are omitted at their defaults so single-instance spec text
+  // (and the goldens pinned to it) is reproduced byte-for-byte.
+  if (instances != 1) os << " instances=" << instances;
+  if (mux_mode != MuxMode::kConcurrent) {
+    os << " mux-mode=" << to_string(mux_mode);
+  }
   // Fault fields are omitted when inactive so pre-fault-plane spec text (and
   // the goldens pinned to it) is reproduced byte-for-byte.
   if (adversary.kind != AdversaryKind::kNone) {
@@ -406,6 +431,18 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
                    : static_cast<std::size_t>(parse_u64(key, value));
     } else if (key == "crashes") {
       spec.crashes = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "instances") {
+      spec.instances = static_cast<std::size_t>(parse_u64(key, value));
+    } else if (key == "mux-mode") {
+      if (value == "concurrent") {
+        spec.mux_mode = MuxMode::kConcurrent;
+      } else if (value == "sequential") {
+        spec.mux_mode = MuxMode::kSequential;
+      } else {
+        throw ConfigError(
+            "scenario: mux-mode must be concurrent or sequential, got '" +
+            value + "'");
+      }
     } else if (key == "adversary") {
       spec.adversary = parse_adversary(value);
     } else if (key == "byzantine") {

@@ -22,6 +22,11 @@
 ///           | partition:<k>:<heal_us> | burst:<period_us>
 ///   byzantine=none | crash-after:<sends>:<k> | garbage:<size>:<k>
 ///
+/// Multi-instance pipelining (both optional; omitted at their defaults —
+/// see SCENARIOS.md "Multi-instance pipelining"):
+///
+///   instances=<k> mux-mode=concurrent|sequential
+///
 /// Reserved keys are the fixed fields below; every other key is a numeric
 /// protocol parameter collected into `params`. Parameter keys are validated
 /// against the protocol's registry entry (plus the universal substrate knobs
@@ -59,6 +64,11 @@ enum class TestbedKind {
 /// Sentinel for "derive the fault bound from the protocol's resilience".
 inline constexpr std::size_t kAutoFaults =
     std::numeric_limits<std::size_t>::max();
+
+/// How a multi-instance run (`instances > 1`) opens its net::SessionMux
+/// sessions: all together, or pipelined one-after-another (the paper's
+/// one-report-per-minute deployment shape).
+enum class MuxMode { kConcurrent, kSequential };
 
 class ProtocolRegistry;
 
@@ -141,6 +151,16 @@ struct ScenarioSpec {
   /// Crash-faulted nodes (silent from the start), placed at the top ids —
   /// the fault model of the paper's crash experiments.
   std::size_t crashes = 0;
+  /// Protocol instances multiplexed over one mesh (net::SessionMux windows
+  /// of 2^16 channels each). 1 = run the protocol directly, exactly as
+  /// before the mux wiring existed. Each instance gets its own clustered
+  /// workload (generator seed `seed + n + sid`; explicit `inputs` apply to
+  /// every instance) and its own slice of the outputs in RunReport.
+  std::size_t instances = 1;
+  /// How instances open when instances > 1: concurrent (parallel feeds) or
+  /// sequential (the one-report-per-minute pipeline). Ignored at
+  /// instances == 1.
+  MuxMode mux_mode = MuxMode::kConcurrent;
   /// Network-level adversary: scheduled natively by the simulator, emulated
   /// on tcp/udp by the netem shim at the send boundary (every form runs on
   /// every substrate).
@@ -202,5 +222,6 @@ std::vector<double> clustered_inputs(std::size_t n, double center,
 
 const char* to_string(Substrate s) noexcept;
 const char* to_string(TestbedKind tb) noexcept;
+const char* to_string(MuxMode m) noexcept;
 
 }  // namespace delphi::scenario

@@ -1,0 +1,225 @@
+/// Tests for multi-instance pipelining (ScenarioSpec instances= / mux-mode=):
+/// spec text round-trip and validation, determinism of muxed runs under
+/// faults, registry-wide instances=4 termination on the simulator, and
+/// cross-substrate (sim ≡ tcp ≡ udp) output + byte equivalence of muxed
+/// runs — including instance windows whose channel bases exceed 2^21, where
+/// the channel uvarint is wider than in any single-instance run.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runtime.hpp"
+
+namespace delphi::scenario {
+namespace {
+
+/// Small-n spec every built-in suite can run (see scenario_test.cpp).
+ScenarioSpec small_spec(const std::string& protocol) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.testbed = TestbedKind::kAsync;
+  spec.n = 6;
+  spec.seed = 7;
+  return spec;
+}
+
+// ------------------------------------------------------------- spec text
+
+TEST(MultiInstanceSpec, DefaultsAreOmittedFromText) {
+  // instances=1 mux-mode=concurrent is the single-instance default; its text
+  // form must stay byte-identical to pre-multi-instance specs (goldens and
+  // stored scenario files depend on it).
+  ScenarioSpec spec = small_spec("delphi");
+  const auto text = spec.to_text();
+  EXPECT_EQ(text.find("instances="), std::string::npos) << text;
+  EXPECT_EQ(text.find("mux-mode="), std::string::npos) << text;
+  EXPECT_EQ(ScenarioSpec::from_text(text), spec);
+}
+
+TEST(MultiInstanceSpec, TextRoundTripIsExact) {
+  ScenarioSpec spec = small_spec("rbc");
+  spec.instances = 4;
+  spec.mux_mode = MuxMode::kSequential;
+  EXPECT_NE(spec.to_text().find("instances=4"), std::string::npos);
+  EXPECT_NE(spec.to_text().find("mux-mode=sequential"), std::string::npos);
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+
+  spec.mux_mode = MuxMode::kConcurrent;  // default mode, instances > 1
+  EXPECT_EQ(ScenarioSpec::from_text(spec.to_text()), spec);
+}
+
+TEST(MultiInstanceSpec, ParsesHandWrittenText) {
+  const auto spec = ScenarioSpec::from_text(
+      "protocol=rbc n=5 seed=3 instances=8 mux-mode=sequential");
+  EXPECT_EQ(spec.instances, 8u);
+  EXPECT_EQ(spec.mux_mode, MuxMode::kSequential);
+}
+
+TEST(MultiInstanceSpec, RejectsInvalidValues) {
+  EXPECT_THROW(ScenarioSpec::from_text("n=4 instances=0").validate(),
+               ConfigError);
+  // Each instance owns a 2^16-channel window of the 32-bit channel space.
+  EXPECT_THROW(ScenarioSpec::from_text("n=4 instances=65537").validate(),
+               ConfigError);
+  EXPECT_THROW(ScenarioSpec::from_text("n=4 mux-mode=parallel"), ConfigError);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(MultiInstance, DeterministicUnderFaultsInBothModes) {
+  // Same spec + seed ⇒ bit-identical RunReport, muxed runs included — with
+  // the full fault plane active.
+  for (const MuxMode mode : {MuxMode::kConcurrent, MuxMode::kSequential}) {
+    SCOPED_TRACE(mode == MuxMode::kSequential ? "sequential" : "concurrent");
+    ScenarioSpec spec = small_spec("delphi");
+    spec.n = 7;
+    spec.crashes = 1;
+    spec.byzantine = parse_byzantine("garbage:48:1");
+    spec.adversary = parse_adversary("random-delay:2000");
+    spec.instances = 3;
+    spec.mux_mode = mode;
+
+    const auto first = SimRuntime().run(spec);
+    const auto second = SimRuntime().run(spec);
+    EXPECT_TRUE(first.ok);
+    EXPECT_EQ(first, second);
+    // All three instances of every honest node report: 3x the single-run
+    // output count.
+    spec.instances = 1;
+    const auto single = SimRuntime().run(spec);
+    EXPECT_EQ(first.outputs.size(), 3 * single.outputs.size());
+  }
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MultiInstance, EveryRegistryProtocolTerminatesAtFourInstances) {
+  for (const auto& name : ProtocolRegistry::global().names()) {
+    for (const MuxMode mode : {MuxMode::kConcurrent, MuxMode::kSequential}) {
+      SCOPED_TRACE(name + (mode == MuxMode::kSequential ? "/sequential"
+                                                        : "/concurrent"));
+      ScenarioSpec spec = small_spec(name);
+      const auto single = SimRuntime().run(spec);
+      spec.instances = 4;
+      spec.mux_mode = mode;
+      const auto rep = SimRuntime().run(spec);
+      EXPECT_TRUE(rep.ok);
+      EXPECT_TRUE(rep.unfinished.empty());
+      // Every instance's outputs are harvested, in instance order.
+      EXPECT_EQ(rep.outputs.size(), 4 * single.outputs.size());
+      // The pipeline costs real traffic: strictly more than one instance.
+      EXPECT_GT(rep.honest_msgs, single.honest_msgs);
+    }
+  }
+}
+
+// ------------------------------------------- cross-substrate equivalence
+
+TEST(MultiInstance, CrossSubstrateRbcOutputsAndBytesMatch) {
+  // RBC's traffic is schedule-independent and its output exact, so all three
+  // substrates must agree bit-for-bit on outputs AND bytes. Byte parity is
+  // only meaningful because framed_size accounts the actual channel uvarint
+  // width — muxed instances live in shifted windows (sid * 2^16) where the
+  // channel costs 3 bytes, not 1.
+  ScenarioSpec spec;
+  spec.protocol = "rbc";
+  spec.n = 5;
+  spec.seed = 11;
+  spec.inputs = {40012.5, 40013.0, 40011.0, 40014.5, 40012.0};
+  spec.instances = 4;
+
+  spec.substrate = Substrate::kSim;
+  const auto sim_rep = SimRuntime().run(spec);
+  spec.substrate = Substrate::kTcp;
+  const auto tcp_rep = TcpRuntime().run(spec);
+  spec.substrate = Substrate::kUdp;
+  const auto udp_rep = UdpRuntime().run(spec);
+
+  ASSERT_TRUE(sim_rep.ok);
+  ASSERT_TRUE(tcp_rep.ok);
+  ASSERT_TRUE(udp_rep.ok);
+  ASSERT_EQ(sim_rep.outputs.size(), 4u * 5u);
+  for (const double v : sim_rep.outputs) EXPECT_EQ(v, 40012.5);
+  EXPECT_EQ(sim_rep.outputs, tcp_rep.outputs);
+  EXPECT_EQ(sim_rep.outputs, udp_rep.outputs);
+  EXPECT_EQ(sim_rep.honest_bytes, tcp_rep.honest_bytes);
+  EXPECT_EQ(sim_rep.honest_bytes, udp_rep.honest_bytes);
+  EXPECT_EQ(sim_rep.honest_msgs, tcp_rep.honest_msgs);
+  EXPECT_EQ(sim_rep.honest_msgs, udp_rep.honest_msgs);
+}
+
+TEST(MultiInstance, CrossSubstrateSequentialDolevMatches) {
+  // Sequential chaining changes *when* sessions open, never what they send:
+  // totals must still match across substrates.
+  ScenarioSpec spec;
+  spec.protocol = "dolev";
+  spec.n = 6;
+  spec.seed = 5;
+  spec.params["rounds"] = 5;
+  spec.inputs = std::vector<double>(6, 42.0);
+  spec.instances = 3;
+  spec.mux_mode = MuxMode::kSequential;
+
+  spec.substrate = Substrate::kSim;
+  const auto sim_rep = SimRuntime().run(spec);
+  spec.substrate = Substrate::kTcp;
+  const auto tcp_rep = TcpRuntime().run(spec);
+  spec.substrate = Substrate::kUdp;
+  const auto udp_rep = UdpRuntime().run(spec);
+
+  ASSERT_TRUE(sim_rep.ok);
+  ASSERT_TRUE(tcp_rep.ok);
+  ASSERT_TRUE(udp_rep.ok);
+  ASSERT_EQ(sim_rep.outputs.size(), 3u * 6u);
+  for (const double v : sim_rep.outputs) EXPECT_EQ(v, 42.0);
+  EXPECT_EQ(sim_rep.outputs, tcp_rep.outputs);
+  EXPECT_EQ(sim_rep.outputs, udp_rep.outputs);
+  EXPECT_EQ(sim_rep.honest_bytes, tcp_rep.honest_bytes);
+  EXPECT_EQ(sim_rep.honest_bytes, udp_rep.honest_bytes);
+}
+
+TEST(MultiInstance, HighWindowChannelsKeepByteParity) {
+  // 40 instances push the top window's channel base to 39 * 2^16 ≈ 2.56M >
+  // 2^21 — the 4-byte-uvarint regime. Sim accounting and real TCP framing
+  // must still agree byte-for-byte.
+  ScenarioSpec spec;
+  spec.protocol = "rbc";
+  spec.n = 4;
+  spec.seed = 23;
+  spec.inputs = {7.0, 8.0, 9.0, 10.0};
+  spec.instances = 40;
+
+  spec.substrate = Substrate::kSim;
+  const auto sim_rep = SimRuntime().run(spec);
+  spec.substrate = Substrate::kTcp;
+  const auto tcp_rep = TcpRuntime().run(spec);
+
+  ASSERT_TRUE(sim_rep.ok);
+  ASSERT_TRUE(tcp_rep.ok);
+  ASSERT_EQ(sim_rep.outputs.size(), 40u * 4u);
+  EXPECT_EQ(sim_rep.outputs, tcp_rep.outputs);
+  EXPECT_EQ(sim_rep.honest_bytes, tcp_rep.honest_bytes);
+  EXPECT_EQ(sim_rep.honest_msgs, tcp_rep.honest_msgs);
+}
+
+// ---------------------------------------------------------------- faults
+
+TEST(MultiInstance, CrashedNodeIsSilentAcrossAllInstances) {
+  ScenarioSpec spec = small_spec("delphi");
+  spec.n = 7;
+  spec.crashes = 1;
+  spec.instances = 3;
+  const auto rep = SimRuntime().run(spec);
+  EXPECT_TRUE(rep.ok);
+  // The crashed node (top id) sent nothing in any instance; honest nodes
+  // report all three instances.
+  EXPECT_EQ(rep.nodes.back().msgs_sent, 0u);
+  EXPECT_EQ(rep.outputs.size(), 3u * (spec.n - 1));
+}
+
+}  // namespace
+}  // namespace delphi::scenario

@@ -55,6 +55,45 @@ std::vector<std::vector<double>> make_readings(std::size_t sessions,
   return r;
 }
 
+/// Context that swallows all traffic — for driving a mux by hand.
+class NullCtx final : public Context {
+ public:
+  NodeId self() const override { return 0; }
+  std::size_t n() const override { return 4; }
+  SimTime now() const override { return 0; }
+  void send(NodeId, std::uint32_t, MessagePtr) override {}
+  void broadcast(std::uint32_t, MessagePtr) override {}
+  void charge_compute(SimTime) override {}
+  Rng& rng() override { return rng_; }
+
+ private:
+  Rng rng_{1};
+};
+
+/// Terminates on the first delivery; never sends. Lets a test drive session
+/// termination order one channel at a time.
+class FinishOnMessage final : public Protocol {
+ public:
+  void on_start(Context&) override {}
+  void on_message(Context&, NodeId, std::uint32_t, const MessageBody&) override {
+    done_ = true;
+  }
+  bool terminated() const override { return done_; }
+
+ private:
+  bool done_ = false;
+};
+
+/// Terminated from birth — a degenerate protocol whose whole run happens
+/// inside on_start.
+class InstantDone final : public Protocol {
+ public:
+  void on_start(Context&) override {}
+  void on_message(Context&, NodeId, std::uint32_t, const MessageBody&) override {
+  }
+  bool terminated() const override { return true; }
+};
+
 void expect_session_guarantees(
     sim::Simulator& sim, std::size_t sessions,
     const std::vector<std::vector<double>>& readings) {
@@ -108,19 +147,7 @@ TEST(SessionMux, RejectsChannelBeyondSessions) {
   SessionMux mux(c, [](std::uint32_t) -> std::unique_ptr<Protocol> {
     return std::make_unique<sim::SilentProtocol>();
   });
-  class NullCtx final : public Context {
-   public:
-    NodeId self() const override { return 0; }
-    std::size_t n() const override { return 4; }
-    SimTime now() const override { return 0; }
-    void send(NodeId, std::uint32_t, MessagePtr) override {}
-    void broadcast(std::uint32_t, MessagePtr) override {}
-    void charge_compute(SimTime) override {}
-    Rng& rng() override { return rng_; }
-
-   private:
-    Rng rng_{1};
-  } ctx;
+  NullCtx ctx;
   sim::GarbageMessage g(4);
   EXPECT_THROW(mux.on_message(ctx, 1, /*channel=*/250, g), ProtocolViolation);
 }
@@ -203,6 +230,68 @@ TEST(SessionMux, ToleratesSilentFaultsAcrossSessions) {
     }
     EXPECT_LE(test::spread(outputs), 1.0) << "session " << sid;
   }
+}
+
+TEST(SessionMux, SequentialChainSurvivesOutOfOrderTermination) {
+  // Regression: a lazily-opened successor (a fast peer ran ahead) terminates
+  // BEFORE its predecessor. The chain frontier must (a) not run past the
+  // lowest unfinished session when an out-of-order successor finishes, and
+  // (b) skip already-finished sessions when the predecessor finally finishes
+  // — stopping at the first finished successor would strand everything
+  // beyond it and stall the chain forever.
+  SessionMux::Config c;
+  c.expected = 4;
+  c.stride = 100;
+  c.mode = SessionMux::Mode::kSequential;
+  std::vector<std::uint32_t> opened;
+  SessionMux mux(c, [&opened](std::uint32_t sid) -> std::unique_ptr<Protocol> {
+    opened.push_back(sid);
+    return std::make_unique<FinishOnMessage>();
+  });
+  NullCtx ctx;
+  sim::GarbageMessage g(4);
+
+  mux.on_start(ctx);
+  EXPECT_EQ(opened, (std::vector<std::uint32_t>{0}));
+
+  // Session 2 opens lazily off a peer's message and finishes immediately,
+  // while sessions 0 and 1 are still running. The frontier is still 0, so
+  // nothing new may open — in particular not session 3.
+  mux.on_message(ctx, 1, /*channel=*/250, g);
+  EXPECT_EQ(opened, (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(mux.session(3), nullptr);
+  EXPECT_FALSE(mux.terminated());
+
+  // Session 0 finishes: the frontier advances to 1 and opens it. Session 3
+  // still waits (the frontier is 1, not yet past the finished 2).
+  mux.on_message(ctx, 1, /*channel=*/50, g);
+  EXPECT_EQ(opened, (std::vector<std::uint32_t>{0, 2, 1}));
+  EXPECT_EQ(mux.session(3), nullptr);
+
+  // Session 1 finishes: the frontier must skip the already-finished 2 and
+  // open 3 (the stall in the old chain logic).
+  mux.on_message(ctx, 1, /*channel=*/150, g);
+  EXPECT_EQ(opened, (std::vector<std::uint32_t>{0, 2, 1, 3}));
+
+  mux.on_message(ctx, 1, /*channel=*/350, g);
+  EXPECT_TRUE(mux.terminated());
+  EXPECT_EQ(mux.open_count(), 4u);
+}
+
+TEST(SessionMux, SequentialChainSettlesInstantlyTerminatedSessions) {
+  // Degenerate sessions that are terminated from birth: the whole chain must
+  // settle inside on_start without any message traffic.
+  SessionMux::Config c;
+  c.expected = 5;
+  c.stride = 100;
+  c.mode = SessionMux::Mode::kSequential;
+  SessionMux mux(c, [](std::uint32_t) -> std::unique_ptr<Protocol> {
+    return std::make_unique<InstantDone>();
+  });
+  NullCtx ctx;
+  mux.on_start(ctx);
+  EXPECT_TRUE(mux.terminated());
+  EXPECT_EQ(mux.open_count(), 5u);
 }
 
 // ---------------------------------------------------------------- over TCP

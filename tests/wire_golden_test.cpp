@@ -89,6 +89,61 @@ TEST(WireGolden, AuthenticatedFrame) {
             "c3d1b56a91187b4c");
 }
 
+TEST(WireGolden, HighChannelFrameMatchesFramedSize) {
+  // Multi-instance sessions shift channels into high windows (sid * 2^16),
+  // where the channel uvarint takes 3-5 bytes instead of 1. The simulator's
+  // byte accounting (net::framed_size) must equal the actual encoded frame
+  // size at every window base or sim != tcp != udp byte parity breaks.
+  crypto::Key key{};
+  key.fill(0x42);
+  const std::vector<std::uint8_t> payload{1, 2, 3};
+  const std::uint32_t channels[] = {
+      0,           127,         128,
+      1u << 16,              // instance window 1 (3-byte uvarint)
+      (1u << 21) + 5,        // beyond 2^21 (4-byte uvarint)
+      3u << 16,              // a mid-pipeline window base
+      0xFFFFFFFFu,           // top of the channel space (5-byte uvarint)
+  };
+  for (std::uint32_t ch : channels) {
+    const auto auth_frame = transport::encode_frame(ch, payload, &key);
+    EXPECT_EQ(auth_frame.size(),
+              net::framed_size(payload.size(), ch, /*authenticated=*/true))
+        << "channel " << ch;
+    const auto plain_frame = transport::encode_frame(ch, payload, nullptr);
+    EXPECT_EQ(plain_frame.size(),
+              net::framed_size(payload.size(), ch, /*authenticated=*/false))
+        << "channel " << ch;
+  }
+}
+
+TEST(WireGolden, HighChannelFrameRoundTrips) {
+  // FrameParser must hand back the exact channel and payload for frames in
+  // high instance windows (both auth modes).
+  crypto::Key key{};
+  key.fill(0x42);
+  const std::vector<std::uint8_t> payload{0xDE, 0xAD, 0xBE, 0xEF};
+  for (std::uint32_t ch :
+       {1u << 16, (1u << 21) + 5, 7u << 16, 0xFFFFFFFFu}) {
+    {
+      transport::FrameParser parser(&key);
+      parser.feed(transport::encode_frame(ch, payload, &key));
+      auto f = parser.next();
+      ASSERT_TRUE(f.has_value()) << "channel " << ch;
+      EXPECT_EQ(f->channel, ch);
+      EXPECT_EQ(f->payload, payload);
+      EXPECT_EQ(parser.buffered(), 0u);
+    }
+    {
+      transport::FrameParser parser;
+      parser.feed(transport::encode_frame(ch, payload, nullptr));
+      auto f = parser.next();
+      ASSERT_TRUE(f.has_value()) << "channel " << ch;
+      EXPECT_EQ(f->channel, ch);
+      EXPECT_EQ(f->payload, payload);
+    }
+  }
+}
+
 TEST(WireGolden, GoldenBytesDecodeBack) {
   // The pinned encodings stay decodable (golden test's other direction).
   {

@@ -12,6 +12,9 @@
 ///                     [--adversary random-delay:50000] [--byzantine garbage:64:2]
 ///                     (any protocol can be attacked: adversary= delays/reorders
 ///                     the simulated network, byzantine= wraps faulted nodes)
+///                     [--instances 4] [--mux-mode concurrent|sequential]
+///                     (k instances over one mesh via net::SessionMux;
+///                     sequential = the one-report-per-minute pipeline)
 ///   delphi_cli run    --spec 'protocol=dolev n=8 rounds=6 ...'
 ///   delphi_cli sweep  same flags, --n taking a comma list: --n 16,64,112
 ///                     [--jobs J]   (J worker threads; 0 = all cores)
@@ -59,6 +62,8 @@ namespace {
                    [--byzantine none|crash-after:<sends>:<k>|garbage:<size>:<k>]
                    [--loss P] [--loss-burst L] [--rate-kbps R] [--rto-ms MS]
                    (loss knobs need --transport udp; rate-kbps shapes tcp too)
+                   [--instances K] [--mux-mode concurrent|sequential]
+                   (K protocol instances multiplexed over one mesh)
                    [--rho0 R] [--eps E] [--delta-max DM] [--space-max SM]
                    [--rounds R] [--jobs J] [--csv] [--verbose]
   delphi_cli run   --spec 'protocol=... n=... key=value ...' [--csv]
@@ -200,6 +205,15 @@ ScenarioSpec parse_spec(Flags& f) {
   spec.delta = f.num("delta", aws ? 20.0 : 5.0);
   spec.seed = f.unum("seed", 1);
   spec.crashes = static_cast<std::size_t>(f.unum("crashes", 0));
+  spec.instances = static_cast<std::size_t>(f.unum("instances", 1));
+  const std::string mux = f.str("mux-mode", "concurrent");
+  if (mux == "concurrent") {
+    spec.mux_mode = scenario::MuxMode::kConcurrent;
+  } else if (mux == "sequential") {
+    spec.mux_mode = scenario::MuxMode::kSequential;
+  } else {
+    usage("--mux-mode must be concurrent or sequential");
+  }
   spec.adversary = scenario::parse_adversary(f.str("adversary", "none"));
   spec.byzantine = scenario::parse_byzantine(f.str("byzantine", "none"));
   const std::string t = f.str("t", "auto");
