@@ -66,6 +66,41 @@ void DolevProtocol::on_message(net::Context& ctx, NodeId from,
   advance_while_ready(ctx);
 }
 
+void DolevProtocol::snapshot(ByteWriter& w) const {
+  w.f64(estimate_);
+  w.uvarint(round_);
+  w.u8(output_.has_value() ? 1 : 0);
+  if (output_) w.f64(*output_);
+  w.uvarint(rounds_state_.size());
+  for (const Round& rc : rounds_state_) {
+    w.uvarint(rc.count);
+    for (const auto& v : rc.values) {
+      w.u8(v.has_value() ? 1 : 0);
+      if (v) w.f64(*v);
+    }
+  }
+}
+
+void DolevProtocol::restore(ByteReader& r) {
+  estimate_ = r.f64();
+  round_ = static_cast<std::uint32_t>(r.uvarint());
+  DELPHI_REQUIRE(round_ <= cfg_.rounds, "Dolev AA: snapshot round range");
+  output_.reset();
+  if (r.u8() != 0) output_ = r.f64();
+  const std::uint64_t n_rounds = r.uvarint();
+  DELPHI_REQUIRE(n_rounds == rounds_state_.size(),
+                 "Dolev AA: snapshot round-count mismatch");
+  for (Round& rc : rounds_state_) {
+    rc.count = static_cast<std::size_t>(r.uvarint());
+    DELPHI_REQUIRE(rc.count <= cfg_.n, "Dolev AA: snapshot count range");
+    for (auto& v : rc.values) {
+      v.reset();
+      if (r.u8() != 0) v = r.f64();
+    }
+  }
+  r.expect_exhausted();
+}
+
 void DolevProtocol::advance_while_ready(net::Context& ctx) {
   const std::size_t needed = quorum_size(cfg_.n, cfg_.t);
   while (!output_.has_value() && rounds_state_[round_].count >= needed) {

@@ -56,8 +56,13 @@ class RoundValueMessage final : public net::MessageBody {
   double value_;
 };
 
-/// One node of the Dolev et al. protocol.
-class DolevProtocol final : public net::Protocol, public net::ValueOutput {
+/// One node of the Dolev et al. protocol. Implements RestartableProtocol —
+/// the churn plane snapshots a node at shutdown and restores it into a
+/// factory-fresh instance at rejoin (the reference implementation of the
+/// checkpoint/restore hook; see net/protocol.hpp).
+class DolevProtocol final : public net::Protocol,
+                            public net::ValueOutput,
+                            public net::RestartableProtocol {
  public:
   struct Config {
     std::size_t n = 6;
@@ -85,6 +90,9 @@ class DolevProtocol final : public net::Protocol, public net::ValueOutput {
                   const net::MessageBody& body) override;
   bool terminated() const override { return output_.has_value(); }
   std::optional<double> output_value() const override { return output_; }
+
+  void snapshot(ByteWriter& w) const override;
+  void restore(ByteReader& r) override;
 
   /// Current estimate (equals the output once terminated).
   double estimate() const noexcept { return estimate_; }

@@ -90,6 +90,31 @@ class Protocol {
   virtual bool terminated() const = 0;
 };
 
+/// Optional capability: a protocol that can checkpoint its state and resume
+/// from the checkpoint in a fresh instance — the catch-up hook of the churn
+/// plane. When a node restarts on a socket substrate, the transport snapshots
+/// the protocol at shutdown and restores it into a factory-fresh instance at
+/// rejoin (modelling a real process restart from a persisted checkpoint).
+/// Protocols that do not implement this keep their live instance across the
+/// restart instead (an implicit in-memory snapshot) and rely on peer
+/// retransmission of undelivered frames to catch up.
+///
+/// Contract: `restore(r)` on a fresh instance built by the same factory with
+/// the same configuration must reproduce the snapshotted instance exactly —
+/// same `terminated()`, same outputs, same reaction to every future message.
+class RestartableProtocol {
+ public:
+  virtual ~RestartableProtocol() = default;
+
+  /// Serialize resumable state (not configuration — the factory re-supplies
+  /// that) into `w`.
+  virtual void snapshot(ByteWriter& w) const = 0;
+
+  /// Restore state written by snapshot(). Throws SerializationError /
+  /// ProtocolViolation on malformed bytes.
+  virtual void restore(ByteReader& r) = 0;
+};
+
 /// Builds node i's protocol instance. The shared deployment-population hook
 /// of every substrate (simulator harness, TCP cluster, scenario runtimes);
 /// Byzantine placements return adversarial implementations.

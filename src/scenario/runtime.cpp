@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "net/mux.hpp"
 #include "net/netem.hpp"
 #include "scenario/registry.hpp"
@@ -145,6 +146,43 @@ void harvest_node(const ProtocolInfo& info, const net::Protocol& node,
   }
 }
 
+/// Churn placement for one spec entry: the first k honest ids (0..k-1) when
+/// churn_seed == 0, else k distinct seed-derived honest ids (per-entry
+/// stream, so repeated `churn=` entries hit independent subsets). The honest
+/// range excludes the top-id crash/byzantine block; validate() guarantees k
+/// fits, so the rejection loop terminates.
+std::vector<NodeId> churn_targets(const ScenarioSpec& rs, std::size_t entry) {
+  const std::uint64_t k = rs.churn[entry].k;
+  std::vector<NodeId> ids;
+  if (rs.churn_seed == 0) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      ids.push_back(static_cast<NodeId>(i));
+    }
+    return ids;
+  }
+  const std::uint64_t honest = rs.n - rs.crashes - rs.byzantine.k;
+  Rng rng(rs.churn_seed ^ (0x9e3779b97f4a7c15ULL * (entry + 1)));
+  std::set<NodeId> chosen;
+  while (chosen.size() < k) {
+    chosen.insert(static_cast<NodeId>(rng.below(honest)));
+  }
+  ids.assign(chosen.begin(), chosen.end());
+  return ids;
+}
+
+/// Expand the spec's churn schedule into per-node transport windows (the
+/// same expansion feeds sim::SimConfig::churn, field for field).
+std::vector<transport::ChurnWindow> churn_windows(const ScenarioSpec& rs) {
+  std::vector<transport::ChurnWindow> ws;
+  for (std::size_t e = 0; e < rs.churn.size(); ++e) {
+    for (NodeId id : churn_targets(rs, e)) {
+      ws.push_back({id, static_cast<std::int64_t>(rs.churn[e].down_us),
+                    static_cast<std::int64_t>(rs.churn[e].up_us)});
+    }
+  }
+  return ws;
+}
+
 /// Materialize the spec's network adversary (nullptr = benign network, the
 /// SimConfig default). Victim/minority groups are the *first* k ids —
 /// disjoint from the top-id fault placements, so `adversary=` composes with
@@ -271,8 +309,11 @@ RunReport run_cluster(const ProtocolInfo& info, const ScenarioSpec& rs,
   rep.nodes.resize(rs.n);
   for (NodeId i = 0; i < rs.n; ++i) {
     const auto& m = cluster.metrics(i);
-    rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
-                    m.malformed_dropped, /*terminated_at=*/-1};
+    rep.nodes[i] = {m.msgs_sent,         m.bytes_sent,
+                    m.msgs_delivered,    m.malformed_dropped,
+                    /*terminated_at=*/-1, m.reconnects,
+                    m.catchup_frames,    m.catchup_bytes,
+                    m.downtime_us / 1000};
     if (!faulted.contains(i)) {
       rep.honest_bytes += m.bytes_sent;
       rep.honest_msgs += m.msgs_sent;
@@ -283,6 +324,9 @@ RunReport run_cluster(const ProtocolInfo& info, const ScenarioSpec& rs,
   // wrappers all claim terminated()), so everything in unfinished() is an
   // honest straggler.
   rep.unfinished = cluster.unfinished();
+  for (const auto& f : cluster.failures()) {
+    rep.node_errors.push_back({f.id, f.message});
+  }
   return rep;
 }
 
@@ -323,6 +367,12 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
   cfg.auth_channels = rs.param("auth", 1.0) != 0.0;
   cfg.fifo_links = rs.param("fifo", 0.0) != 0.0;
   cfg.adversary = make_adversary(rs.adversary);
+  for (std::size_t e = 0; e < rs.churn.size(); ++e) {
+    for (NodeId id : churn_targets(rs, e)) {
+      cfg.churn.push_back({id, static_cast<SimTime>(rs.churn[e].down_us),
+                           static_cast<SimTime>(rs.churn[e].up_us)});
+    }
+  }
 
   const auto crashed = crash_set(rs);
   // All behaviourally-faulted placements: excluded from honest traffic,
@@ -350,10 +400,20 @@ RunReport SimRuntime::run(const ScenarioSpec& spec) {
     const auto& m = sim.node_metrics(i);
     rep.nodes[i] = {m.msgs_sent, m.bytes_sent, m.msgs_delivered,
                     m.malformed_dropped, m.terminated_at};
+    // The simulator's restart is a deterministic pure-delay model: frames
+    // deferred past a dark window are the catch-up traffic, and each window
+    // is one rejoin.
+    rep.nodes[i].catchup_frames = m.deferred_frames;
+    rep.nodes[i].catchup_bytes = m.deferred_bytes;
     if (!faulted.contains(i)) {
       if (m.terminated_at < 0) rep.unfinished.push_back(i);
       harvest_node(info, sim.node(i), rs.instances, rep.outputs);
     }
+  }
+  for (const auto& w : cfg.churn) {
+    ++rep.nodes[w.id].reconnects;
+    rep.nodes[w.id].downtime_ms +=
+        static_cast<std::uint64_t>(w.up_us - w.down_us) / 1000;
   }
   return rep;
 }
@@ -373,6 +433,7 @@ RunReport TcpRuntime::run(const ScenarioSpec& spec) {
   // Every adversary= form runs here via the shim's holdback (delay-only:
   // check_netem_support already rejected the loss knobs).
   opts.netem = netem_from_spec(rs);
+  opts.churn = churn_windows(rs);  // non-empty implies recovery mode
 
   return run_cluster<transport::TcpCluster>(info, rs, opts);
 }
@@ -390,6 +451,7 @@ RunReport UdpRuntime::run(const ScenarioSpec& spec) {
   opts.timeout_ms = static_cast<std::int64_t>(rs.param("timeout-ms", 30'000.0));
   opts.rto_ms = static_cast<std::int64_t>(rs.param("rto-ms", 25.0));
   opts.netem = netem_from_spec(rs);
+  opts.churn = churn_windows(rs);
 
   return run_cluster<transport::UdpMesh>(info, rs, opts);
 }

@@ -18,6 +18,7 @@
 /// and harvests every instance's outputs into the report.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "scenario/spec.hpp"
@@ -37,8 +38,31 @@ struct NodeCounters {
   /// Termination time (simulated µs); -1 if never, or on the socket
   /// substrates (which have no per-node clock worth reporting).
   SimTime terminated_at = -1;
+  // Churn/recovery plane (all zero on churn-free runs — see SCENARIOS.md
+  // "Churn & recovery" for the metrics schema):
+  /// Link re-establishments (TCP) / socket rebinds (UDP) this node took
+  /// part in; under sim, one per restart window hitting the node.
+  std::uint64_t reconnects = 0;
+  /// Catch-up traffic carried for/by this node: replayed frames (TCP), ARQ
+  /// retransmissions (UDP), deliveries deferred past a dark window (sim).
+  /// Transport recovery overhead — NEVER added to honest_bytes/honest_msgs,
+  /// so cross-substrate parity is unaffected by churn.
+  std::uint64_t catchup_frames = 0;
+  std::uint64_t catchup_bytes = 0;
+  /// Total time this node spent dark across its restarts (ms).
+  std::uint64_t downtime_ms = 0;
 
   bool operator==(const NodeCounters&) const = default;
+};
+
+/// A node whose thread died with an error on a socket substrate: which node
+/// and why (exception text, typically carrying errno — e.g. the typed
+/// ResourceExhausted of a UDP unacked-map overflow).
+struct NodeError {
+  NodeId id = 0;
+  std::string message;
+
+  bool operator==(const NodeError&) const = default;
 };
 
 /// Result of one scenario run on either substrate.
@@ -63,6 +87,9 @@ struct RunReport {
   /// Honest node ids that had not terminated (empty iff ok) — on the socket
   /// substrates the ids the cluster's wait() timed out on.
   std::vector<NodeId> unfinished;
+  /// Node threads that died with an error (socket substrates; empty under
+  /// sim and on clean runs) — which node and the failure cause.
+  std::vector<NodeError> node_errors;
 
   bool operator==(const RunReport&) const = default;
 

@@ -95,6 +95,13 @@ std::vector<std::string> split_colon(const std::string& value) {
       value + "'");
 }
 
+[[noreturn]] void bad_churn(const std::string& value) {
+  throw ConfigError(
+      "scenario: churn must be <k>:<down_us>:<up_us> (or the fault-family "
+      "spelling churn:<k>:<down_us>:<up_us>), got '" +
+      value + "'");
+}
+
 }  // namespace
 
 AdversarySpec parse_adversary(const std::string& value) {
@@ -140,6 +147,23 @@ ByzantineSpec parse_byzantine(const std::string& value) {
     bad_byzantine(value);
   }
   return b;
+}
+
+ChurnSpec parse_churn(const std::string& value) {
+  auto parts = split_colon(value);
+  // Accept the fault-family spelling churn:<k>:<down>:<up> too.
+  if (!parts.empty() && parts[0] == "churn") parts.erase(parts.begin());
+  if (parts.size() != 3) bad_churn(value);
+  ChurnSpec c;
+  c.k = parse_u64("churn", parts[0]);
+  c.down_us = parse_u64("churn", parts[1]);
+  c.up_us = parse_u64("churn", parts[2]);
+  return c;
+}
+
+std::string to_string(const ChurnSpec& c) {
+  return "churn:" + std::to_string(c.k) + ":" + std::to_string(c.down_us) +
+         ":" + std::to_string(c.up_us);
 }
 
 std::string to_string(const AdversarySpec& a) {
@@ -253,6 +277,31 @@ void ScenarioSpec::validate() const {
   if (byzantine.kind == ByzantineKind::kGarbage && byzantine.param < 1) {
     throw ConfigError("scenario: garbage message size must be >= 1 byte");
   }
+  for (const auto& c : churn) {
+    if (c.k < 1) throw ConfigError("scenario: churn k must be >= 1");
+    // Churned nodes are honest: placements stay below the top-id
+    // crash/byzantine block (wrap-free bound like the one above).
+    if (c.k > n - crashes - byzantine.k) {
+      throw ConfigError(
+          "scenario: churn k must be <= n - crashes - byzantine nodes "
+          "(restarting nodes are honest)");
+    }
+    if (c.up_us <= c.down_us) {
+      throw ConfigError("scenario: churn up_us must be > down_us");
+    }
+  }
+  if (churn.size() > 1) {
+    std::vector<ChurnSpec> sorted = churn;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ChurnSpec& a, const ChurnSpec& b) {
+                return a.down_us < b.down_us;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].down_us < sorted[i - 1].up_us) {
+        throw ConfigError("scenario: churn windows must be pairwise disjoint");
+      }
+    }
+  }
   if (!inputs.empty() && inputs.size() != n) {
     throw ConfigError("scenario: explicit inputs size != n");
   }
@@ -304,9 +353,10 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
 /// protocol's parameter keys (a typo'd fixed key lands in params too).
 const std::vector<std::string>& fixed_spec_keys() {
   static const std::vector<std::string> keys = {
-      "protocol",  "substrate", "testbed", "n",        "t",
+      "protocol",  "substrate", "testbed",  "n",         "t",
       "crashes",   "instances", "mux-mode", "adversary", "byzantine",
-      "seed",      "center",    "delta",   "inputs"};
+      "churn",     "churn-seed", "seed",    "center",    "delta",
+      "inputs"};
   return keys;
 }
 
@@ -371,6 +421,12 @@ std::string ScenarioSpec::to_text() const {
   if (byzantine.kind != ByzantineKind::kNone) {
     os << " byzantine=" << to_string(byzantine);
   }
+  // Churn entries are emitted as repeated keys (the value without the family
+  // prefix; from_text appends each occurrence in order).
+  for (const auto& c : churn) {
+    os << " churn=" << c.k << ":" << c.down_us << ":" << c.up_us;
+  }
+  if (churn_seed != 0) os << " churn-seed=" << churn_seed;
   os << " seed=" << seed;
   os << " center=" << fmt_double(center);
   os << " delta=" << fmt_double(delta);
@@ -447,6 +503,10 @@ ScenarioSpec ScenarioSpec::from_text(const std::string& text) {
       spec.adversary = parse_adversary(value);
     } else if (key == "byzantine") {
       spec.byzantine = parse_byzantine(value);
+    } else if (key == "churn") {
+      spec.churn.push_back(parse_churn(value));
+    } else if (key == "churn-seed") {
+      spec.churn_seed = parse_u64(key, value);
     } else if (key == "seed") {
       spec.seed = parse_u64(key, value);
     } else if (key == "center") {

@@ -21,6 +21,8 @@
 ///   adversary=none | random-delay:<max_us> | targeted-lag:<k>:<lag_us>
 ///           | partition:<k>:<heal_us> | burst:<period_us>
 ///   byzantine=none | crash-after:<sends>:<k> | garbage:<size>:<k>
+///   churn=<k>:<down_us>:<up_us>     (repeatable; disjoint windows)
+///   churn-seed=<s>                  (randomized churn placement when != 0)
 ///
 /// Multi-instance pipelining (both optional; omitted at their defaults —
 /// see SCENARIOS.md "Multi-instance pipelining"):
@@ -124,14 +126,38 @@ struct ByzantineSpec {
   bool operator==(const ByzantineSpec&) const = default;
 };
 
-/// Parse the `adversary=` / `byzantine=` value grammars; throws ConfigError
-/// naming the accepted forms on malformed input.
+/// One churn event of the recovery fault family: `k` nodes go dark at
+/// `down_us` and restart (rejoin + catch up) at `up_us`. Text form
+/// `churn:<k>:<down_us>:<up_us>`, repeatable (`churn=` may appear several
+/// times in a spec; windows must be pairwise disjoint). Placement: the first
+/// k *honest* ids (0..k-1 — disjoint from the top-id crash/byzantine block),
+/// or a seed-derived honest subset when `churn-seed=` is non-zero.
+///
+/// Per-substrate semantics (SCENARIOS.md "Churn & recovery"): the simulator
+/// defers every delivery to a dark node until its restart time (a
+/// deterministic pure-delay restart — state survives, as the asynchronous
+/// model permits); the socket substrates really stop the node's event loop,
+/// close its sockets, and re-dial/rebind at restart, with catch-up via
+/// replay (TCP) or ARQ retransmission (UDP).
+struct ChurnSpec {
+  std::uint64_t k = 0;        ///< How many nodes restart together.
+  std::uint64_t down_us = 0;  ///< When they go dark (µs; sim time / wall).
+  std::uint64_t up_us = 0;    ///< When they rejoin; must be > down_us.
+
+  bool operator==(const ChurnSpec&) const = default;
+};
+
+/// Parse the `adversary=` / `byzantine=` / `churn=` value grammars; throws
+/// ConfigError naming the accepted forms on malformed input.
 AdversarySpec parse_adversary(const std::string& value);
 ByzantineSpec parse_byzantine(const std::string& value);
+ChurnSpec parse_churn(const std::string& value);
 
 /// Canonical text of a fault field ("none" when inactive).
 std::string to_string(const AdversarySpec& a);
 std::string to_string(const ByzantineSpec& b);
+/// Canonical `churn:<k>:<down_us>:<up_us>` text.
+std::string to_string(const ChurnSpec& c);
 
 /// Substrate knobs every protocol accepts (auth, fifo, nodelay, timeout-ms,
 /// and the netem shim knobs loss / loss-burst / rate-kbps / rto-ms) —
@@ -168,6 +194,14 @@ struct ScenarioSpec {
   /// Byzantine node behaviour for `byzantine.k` nodes directly below the
   /// `crashes` block (both substrates — the wrappers are protocol-level).
   ByzantineSpec byzantine;
+  /// Churn schedule: each entry restarts k honest nodes (dark at down_us,
+  /// rejoined at up_us). Empty = no churn (the default; omitted from text).
+  /// Windows must be pairwise disjoint — validate() rejects overlap.
+  std::vector<ChurnSpec> churn;
+  /// 0 (default): churn hits the first k honest ids. Non-zero: placements
+  /// are drawn deterministically from this seed (per entry), still within
+  /// the honest id range.
+  std::uint64_t churn_seed = 0;
   /// Master seed: network randomness, per-node RNG streams, coin session.
   std::uint64_t seed = 1;
 

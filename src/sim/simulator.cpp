@@ -314,6 +314,27 @@ void Simulator::fire_departure(NodeId sender_id) {
 
 void Simulator::deliver(std::uint32_t slot, std::uint32_t channel) {
   Frame& f = frames_[slot];
+  if (!cfg_.churn.empty()) {
+    // Churn plane: a dark node processes nothing — re-schedule the event at
+    // its restart time. Deferrals happen in pop order with fresh sequence
+    // numbers, so the relative order of everything a node missed is
+    // preserved and the run stays bit-identical across reruns.
+    for (const auto& w : cfg_.churn) {
+      if (w.id == f.to && now_ >= w.down_us && now_ < w.up_us) {
+        if (f.msg != nullptr && f.from != f.to) {
+          NodeMetrics& m = nodes_[f.to].metrics;
+          ++m.deferred_frames;
+          const std::size_t seq_bytes =
+              cfg_.fifo_links ? uvarint_size(f.fifo_seq) : 0;
+          m.deferred_bytes += net::framed_size(
+              f.msg->wire_size_cached() + seq_bytes, channel,
+              cfg_.auth_channels);
+        }
+        schedule(w.up_us, slot, channel);
+        return;
+      }
+    }
+  }
   if (cfg_.fifo_links && f.msg != nullptr && f.from != f.to) {
     // Release in sender order; predecessors may still be in flight.
     auto& buf = nodes_[f.to].fifo_in[f.from];
@@ -344,7 +365,11 @@ void Simulator::deliver(std::uint32_t slot, std::uint32_t channel) {
       PendingDeparture& head = nd.loopback_queue.front();
       const std::uint32_t next_slot =
           alloc_frame(head.to, head.to, std::move(head.msg), /*fifo_seq=*/0);
-      heap_push(HeapEntry{head.arrival, head.seq, next_slot, head.channel});
+      // max() is a no-op without churn (per-node loopback times are
+      // monotone); with churn the head may predate a deferred delivery that
+      // just fired at the restart time, and simulated time never rewinds.
+      heap_push(HeapEntry{std::max(head.arrival, now_), head.seq, next_slot,
+                          head.channel});
       nd.loopback_queue.pop_front();
     } else {
       nd.loopback_armed = false;

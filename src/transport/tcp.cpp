@@ -51,17 +51,29 @@ constexpr std::size_t kStageFrameLimit = 256;
 /// invalidate iovec pointers) cannot happen.
 constexpr std::size_t kStageByteBudget = 256 * 1024;
 
-std::size_t hello_size(bool auth) {
-  return kHelloPrefixSize + (auth ? crypto::kMacTagSize : 0);
+/// Recovery-mode hellos (Options::recovery) append a u64 after the prefix:
+/// how many complete frames the sender has received from the destination on
+/// this link across all its incarnations. The other side replays exactly the
+/// suffix of its send log the count says is missing. Legacy (non-recovery)
+/// hellos stay byte-identical to the pre-recovery wire format.
+std::size_t hello_size(bool auth, bool recovery = false) {
+  return kHelloPrefixSize + (recovery ? 8 : 0) +
+         (auth ? crypto::kMacTagSize : 0);
 }
 
-crypto::Digest hello_tag(const crypto::Key& key, NodeId initiator) {
-  ByteWriter w(16);
+crypto::Digest hello_tag(const crypto::Key& key, NodeId initiator,
+                         const std::uint64_t* recv = nullptr) {
+  ByteWriter w(24);
   w.u32(kHelloMagic);
   w.u32(initiator);
+  if (recv != nullptr) w.u64(*recv);  // tag covers the receive count
   w.str("hello");
   return crypto::hmac_sha256(key, w.data());
 }
+
+/// How long a reconnect attempt or a pending steady-state accept may sit
+/// without completing its hello before it is declared half-open and dropped.
+constexpr SimTime kDialTimeoutUs = 2'000'000;
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw Error(what + ": " + std::strerror(errno));
@@ -112,6 +124,27 @@ int make_listen_socket(std::uint16_t& port_out) {
   return fd;
 }
 
+/// Bind a listening socket on 127.0.0.1 on a *specific* port — how a
+/// restarted node reclaims its published identity (peers re-dial the port
+/// they were given at cluster start; SO_REUSEADDR beats the old socket's
+/// lingering state on loopback).
+int make_listen_socket_on(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket(rebind)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind(rebind port " + std::to_string(port) + ")");
+  }
+  if (::listen(fd, SOMAXCONN) < 0) {
+    ::close(fd);
+    sys_fail("listen(rebind)");
+  }
+  return fd;
+}
+
 /// Blocking connect with retry until `deadline` (peers may not be accepting
 /// yet while the cluster boots).
 int connect_with_retry(std::uint16_t port, Clock::time_point deadline) {
@@ -141,12 +174,36 @@ void write_all(int fd, std::span<const std::uint8_t> data) {
   }
 }
 
-std::vector<std::uint8_t> encode_hello(NodeId self, const crypto::Key* key) {
-  ByteWriter w(hello_size(key != nullptr));
+std::vector<std::uint8_t> encode_hello(NodeId self, const crypto::Key* key,
+                                       const std::uint64_t* recv = nullptr) {
+  ByteWriter w(hello_size(key != nullptr, recv != nullptr));
   w.u32(kHelloMagic);
   w.u32(self);
-  if (key != nullptr) w.raw(hello_tag(*key, self));
+  if (recv != nullptr) w.u64(*recv);
+  if (key != nullptr) w.raw(hello_tag(*key, self, recv));
   return w.take();
+}
+
+/// Full write on a non-blocking fd with a short bounded poll budget (hellos
+/// are <= 48 bytes, so a stall means the peer is gone or wedged). Returns
+/// false if it could not complete — the caller drops the connection.
+bool write_fully(int fd, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  int stalls = 0;
+  while (off < data.size()) {
+    const ssize_t k = ::write(fd, data.data() + off, data.size() - off);
+    if (k > 0) {
+      off += static_cast<std::size_t>(k);
+      continue;
+    }
+    if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && stalls++ < 200) {
+      pollfd pf{fd, POLLOUT, 0};
+      ::poll(&pf, 1, 10);
+      continue;
+    }
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -158,6 +215,7 @@ class TcpCluster::Node final : public net::Context {
   Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
        const std::vector<std::uint16_t>& ports, int listen_fd,
        Clock::time_point epoch, std::unique_ptr<net::Protocol> protocol,
+       std::function<std::unique_ptr<net::Protocol>()> rebuild,
        Decoder decoder, net::WakeupFd& done_wake)
       : self_(self),
         opts_(opts),
@@ -166,10 +224,22 @@ class TcpCluster::Node final : public net::Context {
         listen_fd_(listen_fd),
         epoch_(epoch),
         protocol_(std::move(protocol)),
+        rebuild_(std::move(rebuild)),
         decoder_(std::move(decoder)),
         done_wake_(done_wake),
-        rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))) {
+        rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
+        // Backoff jitter gets its own deterministic stream so the
+        // supervisor never perturbs the protocol's rng() draws.
+        jitter_rng_(opts.seed ^ (0xc2b2ae3d27d4eb4fULL * (self + 2))),
+        recovery_(opts.recovery) {
     peers_.resize(opts_.n);
+    for (const auto& w : opts_.churn) {
+      if (w.id == self_) windows_.push_back(w);
+    }
+    std::sort(windows_.begin(), windows_.end(),
+              [](const ChurnWindow& a, const ChurnWindow& b) {
+                return a.down_us < b.down_us;
+              });
     for (NodeId j = 0; j < opts_.n; ++j) {
       if (j == self_) continue;
       Peer& p = peers_[j];
@@ -189,7 +259,9 @@ class TcpCluster::Node final : public net::Context {
   ~Node() override {
     for (auto& p : peers_) {
       if (p.fd >= 0) ::close(p.fd);
+      if (p.dial_fd >= 0) ::close(p.dial_fd);
     }
+    for (auto& pa : accepts_) ::close(pa.fd);
     if (listen_fd_ >= 0) ::close(listen_fd_);
   }
 
@@ -242,6 +314,15 @@ class TcpCluster::Node final : public net::Context {
     } catch (const std::exception& e) {
       error_ = e.what();
     }
+    if (have_snapshot_) {
+      // Stopped (or died) while dark: rebuild the protocol from its
+      // snapshot so outputs stay harvestable after the join.
+      try {
+        restore_protocol();
+      } catch (const std::exception& e) {
+        if (error_.empty()) error_ = e.what();
+      }
+    }
     // A thread that exits un-terminated is dead for good; wake wait() so it
     // can fail fast instead of sleeping out the whole deadline.
     exited.store(true, std::memory_order_release);
@@ -279,6 +360,36 @@ class TcpCluster::Node final : public net::Context {
     std::size_t front_written = 0;
     /// Last writev hit EAGAIN: wait for POLLOUT instead of re-trying.
     bool blocked = false;
+
+    // ---- recovery mode only (inert when Options::recovery is off) ----
+    /// Frames ever enqueued on this link (== log_start + log.size()).
+    std::uint64_t sent_count = 0;
+    /// Sequence number of log.front(); earlier frames fell off the budget.
+    std::uint64_t log_start = 0;
+    /// Bounded replay log of sent frames (drop-oldest past the byte
+    /// budget). A rejoining peer's hello says how many frames it received;
+    /// the suffix beyond that is replayed.
+    std::deque<PendingFrame> log;
+    std::size_t log_bytes = 0;
+    /// Complete frames parsed from this peer across all link incarnations
+    /// (the cumulative ack our hellos carry).
+    std::uint64_t recv_count = 0;
+    // Re-dial state machine (this side dials iff self > peer id, mirroring
+    // the bring-up rule).
+    int dial_fd = -1;
+    bool dial_hello_sent = false;
+    std::vector<std::uint8_t> dial_buf;  ///< reply-hello bytes so far
+    SimTime redial_at = -1;              ///< next attempt (-1: none due)
+    SimTime dial_deadline = 0;           ///< abort a stalled attempt
+    std::uint32_t redial_attempts = 0;
+  };
+
+  /// An accepted connection whose hello has not fully arrived; dropped at
+  /// `deadline` (half-open / slow-loris defense on the steady-state path).
+  struct PendingAccept {
+    int fd = -1;
+    std::vector<std::uint8_t> buf;
+    SimTime deadline = 0;
   };
 
   /// A frame the netem shim is holding back from the wire until `release`.
@@ -307,10 +418,14 @@ class TcpCluster::Node final : public net::Context {
     // the pre-overhaul data plane), even if the link has died since.
     ++metrics_.msgs_sent;
     metrics_.bytes_sent += frame_wire_size(*body, p.mac.has_value());
-    if (p.fd < 0) return;  // link closed: bytes would never reach the wire
+    if (!recovery_ && p.fd < 0) {
+      return;  // link closed for good: bytes would never reach the wire
+    }
     PendingFrame pf;
     pf.body = body;
     if (p.mac.has_value()) pf.tag = frame_tag(*p.mac, *body);
+    if (recovery_) log_frame(p, pf);
+    if (p.fd < 0) return;  // link down: the log replays this on reconnect
     if (p.shim.active()) {
       const SimTime now = now_us();
       const auto v =
@@ -338,19 +453,390 @@ class TcpCluster::Node final : public net::Context {
     }
   }
 
+  // ---- recovery plane -----------------------------------------------------
+
+  /// Append a sent frame to the link's bounded replay log (drop-oldest past
+  /// the byte budget — graceful degradation while the peer is down).
+  void log_frame(Peer& p, const PendingFrame& pf) {
+    const bool auth = p.mac.has_value();
+    ++p.sent_count;
+    p.log.push_back(pf);
+    p.log_bytes += frame_wire_size(*pf.body, auth);
+    while (p.log_bytes > opts_.replay_budget_bytes && !p.log.empty()) {
+      p.log_bytes -= frame_wire_size(*p.log.front().body, auth);
+      p.log.pop_front();
+      ++p.log_start;
+    }
+  }
+
+  /// Validate a recovery hello claiming to come from `expect`; extracts the
+  /// sender's receive count on success.
+  bool check_hello(std::span<const std::uint8_t> buf, NodeId expect,
+                   std::uint64_t& recv_out) const {
+    ByteReader r(buf);
+    if (r.u32() != kHelloMagic) return false;
+    if (r.u32() != expect) return false;
+    recv_out = r.u64();
+    if (!opts_.auth) return true;
+    crypto::Digest received;
+    const auto tag = r.raw(crypto::kMacTagSize);
+    std::memcpy(received.data(), tag.data(), received.size());
+    return crypto::digest_equal(
+        hello_tag(keys_.channel_key(self_, expect), expect, &recv_out),
+        received);
+  }
+
+  static NodeId claimed_id(std::span<const std::uint8_t> buf) {
+    ByteReader r(buf);
+    r.u32();  // magic (checked later by check_hello)
+    return r.u32();
+  }
+
+  /// Arm the next dial attempt for a lower-id peer: exponential backoff
+  /// (2 ms base, doubling per failure, 250 ms cap) plus deterministic
+  /// jitter from the node's seeded jitter stream. Higher-id peers re-dial
+  /// us, so for them this is a no-op. Gives up once the next attempt would
+  /// land past the cluster deadline (capped retries).
+  void schedule_redial(NodeId j, Peer& p, bool reset_backoff) {
+    if (j >= self_) return;  // that side initiates (same rule as bring-up)
+    if (reset_backoff) p.redial_attempts = 0;
+    constexpr SimTime kBase = 2'000;
+    constexpr SimTime kCap = 250'000;
+    SimTime delay =
+        std::min(kCap, kBase << std::min<std::uint32_t>(p.redial_attempts, 7));
+    delay += static_cast<SimTime>(
+        jitter_rng_.below(static_cast<std::uint64_t>(delay / 4 + 1)));
+    const SimTime at = now_us() + delay;
+    if (at > opts_.timeout_ms * 1'000) {
+      p.redial_at = -1;  // nothing past the run deadline can matter
+      return;
+    }
+    p.redial_at = at;
+  }
+
+  /// Connection supervisor pass: abort stalled dial attempts, start due
+  /// re-dials, and drop half-open pending accepts.
+  void supervisor_tick() {
+    const SimTime now = now_us();
+    for (NodeId j = 0; j < self_; ++j) {
+      Peer& p = peers_[j];
+      if (p.dial_fd >= 0 && now >= p.dial_deadline) {
+        // Half-open: the connect or the hello reply never completed.
+        fail_dial(j, p);
+      }
+      if (p.fd < 0 && p.dial_fd < 0 && p.redial_at >= 0 &&
+          now >= p.redial_at) {
+        start_dial(j, p);
+      }
+    }
+    for (std::size_t a = 0; a < accepts_.size();) {
+      if (now >= accepts_[a].deadline) {
+        ::close(accepts_[a].fd);
+        accepts_[a] = std::move(accepts_.back());
+        accepts_.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+
+  /// Begin one non-blocking reconnect attempt to a lower-id peer.
+  void start_dial(NodeId j, Peer& p) {
+    p.redial_at = -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) sys_fail("socket(redial)");
+    set_nonblocking(fd);
+    sockaddr_in addr = loopback_addr(ports_[j]);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+        errno != EINPROGRESS) {
+      ::close(fd);
+      ++p.redial_attempts;
+      schedule_redial(j, p, false);
+      return;
+    }
+    p.dial_fd = fd;
+    p.dial_hello_sent = false;
+    p.dial_buf.clear();
+    p.dial_deadline = now_us() + kDialTimeoutUs;
+  }
+
+  /// Advance a reconnect attempt: finish the connect, send our hello (with
+  /// our receive count for this link), then read and verify the peer's
+  /// reply before adopting the socket.
+  void progress_dial(NodeId j, Peer& p) {
+    if (p.dial_fd < 0) return;
+    if (!p.dial_hello_sent) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(p.dial_fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        fail_dial(j, p);
+        return;
+      }
+      if (opts_.nodelay) set_nodelay(p.dial_fd);
+      const crypto::Key* key =
+          opts_.auth ? &keys_.channel_key(self_, j) : nullptr;
+      const std::uint64_t recv = p.recv_count;
+      if (!write_fully(p.dial_fd, encode_hello(self_, key, &recv))) {
+        fail_dial(j, p);
+        return;
+      }
+      p.dial_hello_sent = true;
+      return;
+    }
+    const std::size_t want = hello_size(opts_.auth, true);
+    while (p.dial_buf.size() < want) {
+      std::uint8_t tmp[64];
+      const ssize_t k = ::read(p.dial_fd, tmp, want - p.dial_buf.size());
+      if (k > 0) {
+        p.dial_buf.insert(p.dial_buf.end(), tmp, tmp + k);
+        continue;
+      }
+      if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      fail_dial(j, p);  // EOF or hard error before the full reply
+      return;
+    }
+    std::uint64_t peer_recv = 0;
+    if (!check_hello(p.dial_buf, j, peer_recv)) {
+      fail_dial(j, p);
+      return;
+    }
+    const int fd = p.dial_fd;
+    p.dial_fd = -1;
+    p.dial_hello_sent = false;
+    p.dial_buf.clear();
+    adopt_link(j, p, fd, peer_recv);
+  }
+
+  void fail_dial(NodeId j, Peer& p) {
+    abort_dial(p);
+    ++p.redial_attempts;
+    schedule_redial(j, p, false);
+  }
+
+  void abort_dial(Peer& p) {
+    if (p.dial_fd >= 0) {
+      ::close(p.dial_fd);
+      p.dial_fd = -1;
+    }
+    p.dial_hello_sent = false;
+    p.dial_buf.clear();
+  }
+
+  /// Steady-state accept path: a known higher-id peer is re-establishing
+  /// its link (it restarted, or we did and it noticed the EOF). Hellos
+  /// complete asynchronously in progress_accepts() under a deadline.
+  void accept_reconnects() {
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) break;
+      if (opts_.nodelay) set_nodelay(fd);
+      set_nonblocking(fd);
+      accepts_.push_back({fd, {}, now_us() + kDialTimeoutUs});
+    }
+  }
+
+  void progress_accepts() {
+    const std::size_t want = hello_size(opts_.auth, true);
+    for (std::size_t a = 0; a < accepts_.size();) {
+      PendingAccept& pa = accepts_[a];
+      std::uint8_t tmp[64];
+      const ssize_t k = ::read(pa.fd, tmp, want - pa.buf.size());
+      if (k > 0) pa.buf.insert(pa.buf.end(), tmp, tmp + k);
+      const bool dead =
+          k == 0 || (k < 0 && errno != EAGAIN && errno != EWOULDBLOCK);
+      bool settled = false;
+      if (!dead && pa.buf.size() == want) {
+        settled = true;
+        const NodeId who = claimed_id(pa.buf);
+        std::uint64_t peer_recv = 0;
+        if (who > self_ && who < opts_.n &&
+            check_hello(pa.buf, who, peer_recv)) {
+          // Reply with our receive count; the dialer replays its
+          // undelivered suffix symmetrically once it has read it.
+          Peer& p = peers_[who];
+          const crypto::Key* key =
+              opts_.auth ? &keys_.channel_key(self_, who) : nullptr;
+          const std::uint64_t recv = p.recv_count;
+          if (write_fully(pa.fd, encode_hello(self_, key, &recv))) {
+            adopt_link(who, p, pa.fd, peer_recv);
+          } else {
+            ::close(pa.fd);
+          }
+        } else {
+          ::close(pa.fd);  // stranger, forger, or nonsense: reject
+        }
+      }
+      if (dead) ::close(pa.fd);
+      if (dead || settled) {
+        accepts_[a] = std::move(accepts_.back());
+        accepts_.pop_back();
+      } else {
+        ++a;
+      }
+    }
+  }
+
+  /// Install a freshly handshaken socket as peer j's link and replay the
+  /// log suffix the peer's hello says it is missing. A still-open old fd is
+  /// replaced (reconnect-during-handshake race: the newest handshake wins).
+  void adopt_link(NodeId j, Peer& p, int fd, std::uint64_t peer_recv) {
+    if (p.fd >= 0) ::close(p.fd);
+    p.fd = fd;
+    p.parser = FrameParser(p.mac.has_value() ? &*p.mac : nullptr);
+    p.outq.clear();
+    p.front_written = 0;
+    p.blocked = false;
+    p.redial_at = -1;
+    drop_held_for(j);
+    ++metrics_.reconnects;
+    replay_to(p, peer_recv);
+  }
+
+  /// Remove netem-held frames destined to j: they are in the replay log,
+  /// and the fresh handshake replays them — releasing the held copies too
+  /// would deliver duplicates.
+  void drop_held_for(NodeId j) {
+    if (held_.empty()) return;
+    std::vector<HeldFrame> keep;
+    keep.reserve(held_.size());
+    while (!held_.empty()) {
+      HeldFrame h = std::move(const_cast<HeldFrame&>(held_.top()));
+      held_.pop();
+      if (h.to != j) keep.push_back(std::move(h));
+    }
+    for (auto& h : keep) held_.push(std::move(h));
+  }
+
+  /// Queue the log suffix beyond the peer's cumulative receive count.
+  /// Counted as catch-up traffic, never as new sends — honest-byte parity
+  /// across substrates is preserved by construction.
+  void replay_to(Peer& p, std::uint64_t peer_recv) {
+    const bool auth = p.mac.has_value();
+    while (!p.log.empty() && p.log_start < peer_recv) {
+      // The hello's receive count acknowledges this prefix: prune it.
+      p.log_bytes -= frame_wire_size(*p.log.front().body, auth);
+      p.log.pop_front();
+      ++p.log_start;
+    }
+    for (const PendingFrame& pf : p.log) {
+      ++metrics_.catchup_frames;
+      metrics_.catchup_bytes += frame_wire_size(*pf.body, auth);
+      p.outq.push_back(pf);
+    }
+  }
+
+  /// Drive this node's own restart schedule.
+  void churn_tick() {
+    if (!down_ && next_window_ < windows_.size() &&
+        now_us() >= windows_[next_window_].down_us) {
+      go_down(windows_[next_window_].up_us);
+      ++next_window_;
+    }
+    if (down_ && now_us() >= up_at_) come_up();
+  }
+
+  /// The node goes dark: close every socket (peers observe EOF / refused
+  /// connections), snapshot a restartable protocol, freeze until up_at.
+  void go_down(SimTime up_at) {
+    down_ = true;
+    up_at_ = up_at;
+    down_since_ = now_us();
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      if (j == self_) continue;
+      Peer& p = peers_[j];
+      if (p.fd >= 0) {
+        ::close(p.fd);
+        p.fd = -1;
+      }
+      p.outq.clear();
+      p.front_written = 0;
+      p.blocked = false;
+      p.parser = FrameParser(p.mac.has_value() ? &*p.mac : nullptr);
+      abort_dial(p);
+      p.redial_at = -1;
+    }
+    for (auto& pa : accepts_) ::close(pa.fd);
+    accepts_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    held_ = {};  // held frames are all in the replay logs already
+    // A RestartableProtocol is serialized and destroyed — the rejoin
+    // rebuilds it from bytes, proving the snapshot path end to end. Other
+    // protocols keep their in-memory state across the dark window and rely
+    // on message-level redundancy to catch up.
+    if (rebuild_) {
+      if (auto* rp =
+              dynamic_cast<net::RestartableProtocol*>(protocol_.get())) {
+        ByteWriter w(256);
+        rp->snapshot(w);
+        snapshot_ = w.take();
+        have_snapshot_ = true;
+        protocol_.reset();
+      }
+    }
+  }
+
+  /// Restart: rebind the listen port, restore the protocol, re-dial every
+  /// lower id (higher ids re-dial us once they see the port is back).
+  void come_up() {
+    down_ = false;
+    metrics_.downtime_us += static_cast<std::uint64_t>(now_us() - down_since_);
+    listen_fd_ = make_listen_socket_on(ports_[self_]);
+    set_nonblocking(listen_fd_);
+    if (have_snapshot_) restore_protocol();
+    for (NodeId j = 0; j < self_; ++j) {
+      peers_[j].redial_attempts = 0;
+      peers_[j].redial_at = now_us();  // dial now, back off on failure
+    }
+    drain_local();
+    note_termination();
+  }
+
+  void restore_protocol() {
+    protocol_ = rebuild_();
+    auto* rp = dynamic_cast<net::RestartableProtocol*>(protocol_.get());
+    DELPHI_ASSERT(rp != nullptr, "tcp restart: factory lost snapshot support");
+    ByteReader r(snapshot_);
+    rp->restore(r);
+    snapshot_.clear();
+    have_snapshot_ = false;
+  }
+
+  /// The dark window: every socket is closed; nothing to do but wait for
+  /// the restart clock or the cluster stop signal (re-checked by the
+  /// caller's loop right after we return).
+  void park_dark() {
+    const SimTime ms = (up_at_ - now_us()) / 1000 + 1;
+    pollfd pf{wake_.fd(), POLLIN, 0};
+    ::poll(&pf, 1, static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000)));
+    if (pf.revents != 0) wake_.drain();
+  }
+
   /// Establish the full mesh: connect to every lower id, accept from every
   /// higher id, exchanging an 8-byte hello to bind fds to node ids.
   void setup_mesh(const std::atomic<bool>& stop) {
     const auto deadline =
         Clock::now() + std::chrono::milliseconds(opts_.timeout_ms);
     for (NodeId j = 0; j < self_; ++j) {
-      const int fd = connect_with_retry(ports_[j], deadline);
       const crypto::Key* key =
           opts_.auth ? &keys_.channel_key(self_, j) : nullptr;
-      write_all(fd, encode_hello(self_, key));
-      if (opts_.nodelay) set_nodelay(fd);
-      set_nonblocking(fd);
-      peers_[j].fd = fd;
+      while (true) {
+        const int fd = connect_with_retry(ports_[j], deadline);
+        if (!recovery_) {
+          write_all(fd, encode_hello(self_, key));
+          if (opts_.nodelay) set_nodelay(fd);
+          set_nonblocking(fd);
+          peers_[j].fd = fd;
+          break;
+        }
+        // Recovery handshakes are two-way and the peer may churn dark in
+        // the middle of one — a dead socket means "connect again", not a
+        // mesh failure.
+        if (bringup_handshake(j, fd, key, deadline)) break;
+      }
     }
 
     // Accept the n - 1 - self higher-id initiators.
@@ -379,7 +865,7 @@ class TcpCluster::Node final : public net::Context {
         pending.push_back({fd, {}});
       }
       // Progress hellos.
-      const std::size_t want = hello_size(opts_.auth);
+      const std::size_t want = hello_size(opts_.auth, recovery_);
       for (std::size_t i = 0; i < pending.size();) {
         auto& ph = pending[i];
         std::uint8_t tmp[64];
@@ -393,7 +879,18 @@ class TcpCluster::Node final : public net::Context {
           const NodeId who = r.u32();
           bool genuine = magic == kHelloMagic && who > self_ &&
                          who < opts_.n && peers_[who].fd < 0;
-          if (genuine && opts_.auth) {
+          if (genuine && recovery_) {
+            std::uint64_t peer_recv = 0;
+            genuine = check_hello(ph.buf, who, peer_recv);
+            if (genuine) {
+              // Two-way: reply with our receive count (zero at bring-up);
+              // the dialer reads it before sending any frame.
+              const crypto::Key* key =
+                  opts_.auth ? &keys_.channel_key(self_, who) : nullptr;
+              const std::uint64_t recv = peers_[who].recv_count;
+              genuine = write_fully(ph.fd, encode_hello(self_, key, &recv));
+            }
+          } else if (genuine && opts_.auth) {
             crypto::Digest received;
             auto tag = r.raw(crypto::kMacTagSize);
             std::memcpy(received.data(), tag.data(), received.size());
@@ -422,6 +919,52 @@ class TcpCluster::Node final : public net::Context {
     if (expected > 0) throw Error("tcp: mesh setup interrupted");
   }
 
+  /// One bring-up attempt of the two-way recovery hello on a freshly
+  /// connected (still blocking) socket. Returns false with the socket
+  /// closed if the peer died mid-handshake — the caller reconnects; throws
+  /// only on the cluster-wide setup deadline.
+  bool bringup_handshake(NodeId j, int fd, const crypto::Key* key,
+                         Clock::time_point deadline) {
+    const std::uint64_t recv = peers_[j].recv_count;
+    const auto hello = encode_hello(self_, key, &recv);
+    std::size_t woff = 0;
+    while (woff < hello.size()) {
+      const ssize_t k = ::write(fd, hello.data() + woff, hello.size() - woff);
+      if (k <= 0) {
+        ::close(fd);
+        return false;
+      }
+      woff += static_cast<std::size_t>(k);
+    }
+    std::vector<std::uint8_t> buf;
+    const std::size_t want = hello_size(opts_.auth, true);
+    while (buf.size() < want) {
+      if (Clock::now() >= deadline) {
+        ::close(fd);
+        throw Error("tcp: mesh setup timeout (hello reply)");
+      }
+      pollfd pf{fd, POLLIN, 0};
+      ::poll(&pf, 1, 10);
+      if (pf.revents == 0) continue;
+      std::uint8_t tmp[64];
+      const ssize_t k = ::read(fd, tmp, want - buf.size());
+      if (k <= 0) {
+        ::close(fd);
+        return false;
+      }
+      buf.insert(buf.end(), tmp, tmp + k);
+    }
+    std::uint64_t peer_recv = 0;
+    if (!check_hello(buf, j, peer_recv)) {
+      ::close(fd);
+      return false;
+    }
+    if (opts_.nodelay) set_nodelay(fd);
+    set_nonblocking(fd);
+    peers_[j].fd = fd;
+    return true;
+  }
+
   /// Deliver every queued self-message (handlers may enqueue more).
   void drain_local() {
     while (!local_.empty()) {
@@ -442,6 +985,7 @@ class TcpCluster::Node final : public net::Context {
   }
 
   void note_termination() {
+    if (protocol_ == nullptr) return;  // dark window of a snapshot restart
     if (!done.load(std::memory_order_relaxed) && protocol_->terminated()) {
       done.store(true, std::memory_order_release);
       done_wake_.signal();  // wait() blocks on this instead of a timer
@@ -453,55 +997,118 @@ class TcpCluster::Node final : public net::Context {
   /// signal. No sleep ticks anywhere.
   void event_loop(const std::atomic<bool>& stop) {
     while (!stop.load(std::memory_order_relaxed)) {
+      if (recovery_) {
+        churn_tick();
+        if (down_) {
+          park_dark();
+          continue;
+        }
+        supervisor_tick();
+      }
       if (!held_.empty()) release_held(now_us());
       flush_pending();
 
       pollfds_.clear();
       owners_.clear();
       pollfds_.push_back({wake_.fd(), POLLIN, 0});
-      owners_.push_back(self_);  // placeholder, index-aligned with pollfds_
+      owners_.push_back({FdKind::kPeer, self_});  // placeholder, aligned
       for (NodeId j = 0; j < opts_.n; ++j) {
         Peer& p = peers_[j];
-        if (p.fd < 0) continue;
-        short events = POLLIN;
-        if (p.blocked && !p.outq.empty()) events |= POLLOUT;
-        pollfds_.push_back({p.fd, events, 0});
-        owners_.push_back(j);
+        if (p.fd >= 0) {
+          short events = POLLIN;
+          if (p.blocked && !p.outq.empty()) events |= POLLOUT;
+          pollfds_.push_back({p.fd, events, 0});
+          owners_.push_back({FdKind::kPeer, j});
+        }
+        if (p.dial_fd >= 0) {
+          // Writable = connect finished; readable = reply-hello bytes.
+          pollfds_.push_back({p.dial_fd,
+                              p.dial_hello_sent ? short(POLLIN)
+                                                : short(POLLOUT),
+                              0});
+          owners_.push_back({FdKind::kDial, j});
+        }
       }
-      // Indefinite block unless the shim holds frames: then wake for the
-      // earliest release (the only timed wakeup in this loop).
-      int timeout = -1;
-      if (!held_.empty()) {
-        const SimTime ms = (held_.top().release - now_us()) / 1000 + 1;
-        timeout = static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000));
+      if (recovery_ && listen_fd_ >= 0) {
+        pollfds_.push_back({listen_fd_, POLLIN, 0});
+        owners_.push_back({FdKind::kListen, 0});
       }
-      if (::poll(pollfds_.data(), pollfds_.size(), timeout) < 0) {
+      for (std::size_t a = 0; a < accepts_.size(); ++a) {
+        pollfds_.push_back({accepts_[a].fd, POLLIN, 0});
+        owners_.push_back({FdKind::kAccept, static_cast<NodeId>(a)});
+      }
+
+      if (::poll(pollfds_.data(), pollfds_.size(), poll_timeout()) < 0) {
         if (errno == EINTR) continue;
         sys_fail("poll");
       }
       if (pollfds_[0].revents != 0) wake_.drain();  // stop re-checked above
 
       for (std::size_t i = 1; i < pollfds_.size(); ++i) {
-        Peer& p = peers_[owners_[i]];
-        if (p.fd < 0) continue;
-        if (pollfds_[i].revents & (POLLIN | POLLERR | POLLHUP)) {
-          read_peer(owners_[i], p);
+        const PollOwner owner = owners_[i];
+        switch (owner.kind) {
+          case FdKind::kPeer: {
+            Peer& p = peers_[owner.idx];
+            if (p.fd < 0) break;
+            if (pollfds_[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+              read_peer(owner.idx, p);
+            }
+            if (p.fd >= 0 && (pollfds_[i].revents & POLLOUT)) {
+              p.blocked = false;
+              flush_peer(owner.idx, p);
+            }
+            drain_local();
+            break;
+          }
+          case FdKind::kDial:
+            if (pollfds_[i].revents != 0) {
+              progress_dial(owner.idx, peers_[owner.idx]);
+            }
+            break;
+          case FdKind::kListen:
+            if (pollfds_[i].revents & POLLIN) accept_reconnects();
+            break;
+          case FdKind::kAccept:
+            // Handled wholesale below: progress_accepts() compacts the
+            // vector, which would invalidate the owner indices here.
+            break;
         }
-        if (p.fd >= 0 && (pollfds_[i].revents & POLLOUT)) {
-          p.blocked = false;
-          flush_peer(p);
-        }
-        drain_local();
       }
+      if (recovery_ && !accepts_.empty()) progress_accepts();
       note_termination();
     }
+  }
+
+  /// Next forced poll wakeup: netem releases, our own churn transitions,
+  /// due re-dials, dial/accept handshake deadlines. -1 (block forever)
+  /// when none apply — the common, churn-free steady state.
+  int poll_timeout() const {
+    SimTime at = -1;
+    const auto consider = [&at](SimTime t) {
+      if (t >= 0 && (at < 0 || t < at)) at = t;
+    };
+    if (!held_.empty()) consider(held_.top().release);
+    if (recovery_) {
+      if (next_window_ < windows_.size()) {
+        consider(windows_[next_window_].down_us);
+      }
+      for (const Peer& p : peers_) {
+        consider(p.redial_at);
+        if (p.dial_fd >= 0) consider(p.dial_deadline);
+      }
+      for (const auto& pa : accepts_) consider(pa.deadline);
+    }
+    if (at < 0) return -1;
+    const SimTime ms = (at - now_us()) / 1000 + 1;
+    return static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000));
   }
 
   /// Opportunistic write pass: one gathered writev per peer with pending
   /// frames (peers that already hit EAGAIN wait for POLLOUT instead).
   void flush_pending() {
-    for (auto& p : peers_) {
-      if (p.fd >= 0 && !p.blocked && !p.outq.empty()) flush_peer(p);
+    for (NodeId j = 0; j < opts_.n; ++j) {
+      Peer& p = peers_[j];
+      if (p.fd >= 0 && !p.blocked && !p.outq.empty()) flush_peer(j, p);
     }
   }
 
@@ -516,7 +1123,7 @@ class TcpCluster::Node final : public net::Context {
       }
       if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
       // EOF or hard error: peer done sending; drop the link.
-      close_link(p);
+      close_link(from, p);
       return;
     }
   }
@@ -531,10 +1138,14 @@ class TcpCluster::Node final : public net::Context {
       } catch (const Error&) {
         // Framing/MAC broken: the byte stream is unrecoverable.
         ++metrics_.malformed_dropped;
-        close_link(p);
+        close_link(from, p);
         return;
       }
       if (!f) return;
+      // A fully parsed frame advances the cumulative ack our recovery
+      // hellos carry, decodable payload or not (the sender counts frames
+      // written the same way).
+      if (recovery_) ++p.recv_count;
       try {
         ByteReader r(f->payload);
         const net::MessagePtr msg = decoder_(f->channel, r);
@@ -550,7 +1161,7 @@ class TcpCluster::Node final : public net::Context {
 
   /// Gather queued frames (shared bodies + per-link tags) into iovecs and
   /// push them with as few writev(2) calls as the socket accepts.
-  void flush_peer(Peer& p) {
+  void flush_peer(NodeId j, Peer& p) {
     const std::size_t tag_len =
         p.mac.has_value() ? crypto::kMacTagSize : 0;
     while (!p.outq.empty()) {
@@ -622,7 +1233,7 @@ class TcpCluster::Node final : public net::Context {
         p.blocked = true;
         return;
       }
-      close_link(p);
+      close_link(j, p);
       return;
     }
   }
@@ -638,7 +1249,7 @@ class TcpCluster::Node final : public net::Context {
     }
   }
 
-  void close_link(Peer& p) {
+  void close_link(NodeId j, Peer& p) {
     if (p.fd >= 0) {
       ::close(p.fd);
       p.fd = -1;
@@ -646,7 +1257,20 @@ class TcpCluster::Node final : public net::Context {
     p.outq.clear();
     p.front_written = 0;
     p.blocked = false;
+    if (recovery_ && !down_) {
+      // Supervisor takes over: fresh parser for the next incarnation and,
+      // when we are the link's initiator, a backoff-paced re-dial.
+      p.parser = FrameParser(p.mac.has_value() ? &*p.mac : nullptr);
+      schedule_redial(j, p, /*reset_backoff=*/true);
+    }
   }
+
+  /// What a pollfds_ entry (beyond the wakeup fd) refers to.
+  enum class FdKind : std::uint8_t { kPeer, kDial, kListen, kAccept };
+  struct PollOwner {
+    FdKind kind;
+    NodeId idx;  ///< peer id (kPeer/kDial) or accepts_ index (kAccept)
+  };
 
   NodeId self_;
   Options opts_;
@@ -655,10 +1279,15 @@ class TcpCluster::Node final : public net::Context {
   int listen_fd_;
   Clock::time_point epoch_;
   std::unique_ptr<net::Protocol> protocol_;
+  /// Recreates this node's protocol instance (recovery mode only) — the
+  /// restart path feeds the fresh instance the snapshot bytes.
+  std::function<std::unique_ptr<net::Protocol>()> rebuild_;
   Decoder decoder_;
   net::WakeupFd& done_wake_;
   net::WakeupFd wake_;
   Rng rng_;
+  Rng jitter_rng_;
+  bool recovery_ = false;
   std::vector<Peer> peers_;
   std::priority_queue<HeldFrame, std::vector<HeldFrame>, HeldLater> held_;
   std::deque<std::pair<std::uint32_t, net::MessagePtr>> local_;
@@ -666,9 +1295,19 @@ class TcpCluster::Node final : public net::Context {
   /// per-read allocations in the steady state).
   std::vector<std::uint8_t> rbuf_;
   std::vector<pollfd> pollfds_;
-  std::vector<NodeId> owners_;
+  std::vector<PollOwner> owners_;
   std::vector<iovec> iov_;
   std::vector<std::uint8_t> stage_;
+  /// This node's own restart schedule (sorted by down_us) and dark state.
+  std::vector<ChurnWindow> windows_;
+  std::size_t next_window_ = 0;
+  bool down_ = false;
+  SimTime up_at_ = 0;
+  SimTime down_since_ = 0;
+  /// Serialized RestartableProtocol state across a dark window.
+  std::vector<std::uint8_t> snapshot_;
+  bool have_snapshot_ = false;
+  std::vector<PendingAccept> accepts_;
   TransportMetrics metrics_;
   std::string error_;
 };
@@ -678,6 +1317,15 @@ class TcpCluster::Node final : public net::Context {
 TcpCluster::TcpCluster(Options opts)
     : opts_(opts), keys_(opts.seed, opts.n), ports_(opts.n, 0) {
   if (opts_.n < 1) throw ConfigError("TcpCluster: n must be >= 1");
+  if (!opts_.churn.empty()) opts_.recovery = true;
+  for (const auto& w : opts_.churn) {
+    if (w.id >= opts_.n) {
+      throw ConfigError("TcpCluster: churn id out of range");
+    }
+    if (w.up_us <= w.down_us) {
+      throw ConfigError("TcpCluster: churn window needs up_us > down_us");
+    }
+  }
 }
 
 TcpCluster::~TcpCluster() {
@@ -706,9 +1354,15 @@ void TcpCluster::start(const ProtocolFactory& factory, Decoder decoder) {
   const auto epoch = Clock::now();
   nodes_.reserve(opts_.n);
   for (NodeId i = 0; i < opts_.n; ++i) {
-    nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_,
-                                            listen_fds[i], epoch, factory(i),
-                                            decoder, done_wake_));
+    std::function<std::unique_ptr<net::Protocol>()> rebuild;
+    if (opts_.recovery) {
+      // The restart path re-creates the protocol from the same factory and
+      // feeds it the snapshot; configuration is the factory's to re-supply.
+      rebuild = [factory, i] { return factory(i); };
+    }
+    nodes_.push_back(std::make_unique<Node>(
+        i, opts_, keys_, ports_, listen_fds[i], epoch, factory(i),
+        std::move(rebuild), decoder, done_wake_));
   }
   threads_.reserve(opts_.n);
   for (NodeId i = 0; i < opts_.n; ++i) {
@@ -751,9 +1405,13 @@ bool TcpCluster::wait() {
   // With threads joined the flags are final: record who never terminated so
   // timeouts are diagnosable (which nodes, not just "false").
   unfinished_.clear();
+  failures_.clear();
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i]->done.load(std::memory_order_acquire)) {
       unfinished_.push_back(i);
+    }
+    if (!nodes_[i]->error().empty()) {
+      failures_.push_back({i, nodes_[i]->error()});
     }
   }
   joined_ = true;
@@ -765,6 +1423,11 @@ bool TcpCluster::wait() {
 const std::vector<NodeId>& TcpCluster::unfinished() const {
   DELPHI_ASSERT(joined_, "TcpCluster: unfinished() before wait()");
   return unfinished_;
+}
+
+const std::vector<NodeFailure>& TcpCluster::failures() const {
+  DELPHI_ASSERT(joined_, "TcpCluster: failures() before wait()");
+  return failures_;
 }
 
 net::Protocol& TcpCluster::protocol(NodeId id) {

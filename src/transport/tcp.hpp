@@ -61,6 +61,35 @@ struct TransportMetrics {
   std::uint64_t bytes_sent = 0;  ///< framed bytes, self-delivery excluded
   std::uint64_t msgs_delivered = 0;
   std::uint64_t malformed_dropped = 0;
+  // Churn/recovery plane (all zero on churn-free runs):
+  /// Successful link re-establishments this node took part in (dialer or
+  /// acceptor side); UDP counts socket rebinds after a restart.
+  std::uint64_t reconnects = 0;
+  /// Catch-up traffic: frames replayed to a rejoining peer (TCP) /
+  /// retransmitted datagrams (UDP). Transport recovery overhead — never part
+  /// of bytes_sent, so cross-substrate honest-byte parity is unaffected.
+  std::uint64_t catchup_frames = 0;
+  std::uint64_t catchup_bytes = 0;
+  /// Wall time this node spent dark across its restarts.
+  std::uint64_t downtime_us = 0;
+};
+
+/// One scheduled restart on a socket substrate: node `id` stops its event
+/// loop and closes every socket at `down_us` (µs since cluster start), then
+/// rebinds/re-dials the mesh at `up_us`.
+struct ChurnWindow {
+  NodeId id = 0;
+  std::int64_t down_us = 0;
+  std::int64_t up_us = 0;
+};
+
+/// A node thread that died with an error: which node and why (exception
+/// text, typically carrying errno). Recorded by the clusters' wait().
+struct NodeFailure {
+  NodeId id = 0;
+  std::string message;
+
+  bool operator==(const NodeFailure&) const = default;
 };
 
 /// A full-mesh TCP cluster of n nodes, one OS thread each, on 127.0.0.1.
@@ -88,6 +117,24 @@ class TcpCluster {
     /// recovery, so drop verdicts are ignored — the scenario layer rejects
     /// loss configs on this substrate.
     net::netem::Config netem;
+    /// Churn schedule (wall µs since cluster start). Non-empty implies
+    /// `recovery`. A dark node closes every socket (peers see EOF /
+    /// connection refused) and rejoins at up_us: it rebinds its listen port,
+    /// re-dials lower ids, and higher ids re-dial it with backoff.
+    std::vector<ChurnWindow> churn;
+    /// Enable the connection supervisor + catch-up plane even without a
+    /// churn schedule: steady-state accepts of re-connections from known
+    /// peers, re-dial with exponential backoff and deterministic jitter,
+    /// half-open handshake deadlines, per-link replay logs, and a two-way
+    /// hello carrying the receiver's frame count so the sender replays
+    /// exactly the undelivered suffix. Off (the default) keeps the wire
+    /// format and connection lifecycle byte-identical to the pre-recovery
+    /// transport.
+    bool recovery = false;
+    /// Per-link replay log byte budget in recovery mode. Drop-oldest beyond
+    /// it (graceful degradation: a rejoining peer that out-lived the budget
+    /// misses the dropped prefix and relies on protocol-level redundancy).
+    std::size_t replay_budget_bytes = std::size_t{32} << 20;
   };
 
   /// Shared factory alias from net/protocol.hpp (same type the simulator
@@ -114,6 +161,11 @@ class TcpCluster {
   /// wait() returned.
   const std::vector<NodeId>& unfinished() const;
 
+  /// Nodes whose threads died with an error (exception text, typically
+  /// carrying errno), in ascending id order. Only safe after wait()
+  /// returned.
+  const std::vector<NodeFailure>& failures() const;
+
   /// Node i's protocol. Only safe after wait() returned (threads joined).
   net::Protocol& protocol(NodeId id);
 
@@ -137,6 +189,7 @@ class TcpCluster {
   std::vector<std::thread> threads_;
   std::vector<std::uint16_t> ports_;
   std::vector<NodeId> unfinished_;
+  std::vector<NodeFailure> failures_;
   std::atomic<bool> stop_{false};
   /// Signaled by nodes on protocol termination (and thread exit) so wait()
   /// blocks in poll() instead of sleeping on a timer.

@@ -72,6 +72,26 @@ int make_udp_socket(std::uint16_t& port_out) {
   return fd;
 }
 
+/// Rebind a restarted node's socket on its original port — the port is the
+/// node's published identity (port_to_peer_ on every peer), so a rejoin
+/// must reclaim it exactly.
+int make_udp_socket_on(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) sys_fail("socket(udp rebind)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    sys_fail("bind(udp rebind port " + std::to_string(port) + ")");
+  }
+  const int bufsz = 1 << 20;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bufsz, sizeof(bufsz));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bufsz, sizeof(bufsz));
+  set_nonblocking(fd);
+  return fd;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------- codec
@@ -201,17 +221,27 @@ class UdpMesh::Node final : public net::Context {
   Node(NodeId self, const Options& opts, const crypto::KeyStore& keys,
        const std::vector<std::uint16_t>& ports, int sock_fd,
        Clock::time_point epoch, std::unique_ptr<net::Protocol> protocol,
+       std::function<std::unique_ptr<net::Protocol>()> rebuild,
        Decoder decoder, net::WakeupFd& done_wake)
       : self_(self),
         opts_(opts),
         sock_fd_(sock_fd),
+        own_port_(ports[self]),
         epoch_(epoch),
         protocol_(std::move(protocol)),
+        rebuild_(std::move(rebuild)),
         decoder_(std::move(decoder)),
         done_wake_(done_wake),
         rng_(opts.seed ^ (0x9e3779b97f4a7c15ULL * (self + 1))),
         rto_us_(std::max<std::int64_t>(opts.rto_ms, 1) * 1000) {
     peers_.resize(opts_.n);
+    for (const auto& w : opts_.churn) {
+      if (w.id == self_) windows_.push_back(w);
+    }
+    std::sort(windows_.begin(), windows_.end(),
+              [](const ChurnWindow& a, const ChurnWindow& b) {
+                return a.down_us < b.down_us;
+              });
     for (NodeId j = 0; j < opts_.n; ++j) {
       if (j == self_) continue;
       Peer& p = peers_[j];
@@ -273,6 +303,15 @@ class UdpMesh::Node final : public net::Context {
     } catch (const std::exception& e) {
       error_ = e.what();
     }
+    if (have_snapshot_) {
+      // Stopped (or died) while dark: rebuild the protocol from its
+      // snapshot so outputs stay harvestable after the join.
+      try {
+        restore_protocol();
+      } catch (const std::exception& e) {
+        if (error_.empty()) error_ = e.what();
+      }
+    }
     exited.store(true, std::memory_order_release);
     done_wake_.signal();
   }
@@ -294,6 +333,9 @@ class UdpMesh::Node final : public net::Context {
     SharedFrameBody body;
     crypto::Digest tag{};
     SimTime at = 0;
+    /// Wire attempts so far: 0 = not yet sent. Drives the exponential RTO
+    /// backoff and classifies re-sends as catch-up traffic.
+    std::uint32_t attempts = 0;
   };
 
   struct Peer {
@@ -349,6 +391,13 @@ class UdpMesh::Node final : public net::Context {
       throw Error("udp: frame of " + std::to_string(dgram) +
                   " bytes exceeds the one-datagram limit");
     }
+    if (p.unacked.size() >= opts_.max_unacked) {
+      // Typed, loud, and attributable — never a silent drop. The node dies
+      // with this message in NodeFailure / RunReport.node_errors.
+      throw ResourceExhausted(
+          "udp: unacked map for peer " + std::to_string(to) + " hit the cap (" +
+          std::to_string(opts_.max_unacked) + " frames in flight)");
+    }
     const std::uint32_t seq = p.next_seq++;
     const SimTime at = now_us();
     Unacked u;
@@ -378,6 +427,7 @@ class UdpMesh::Node final : public net::Context {
   }
 
   void note_termination() {
+    if (protocol_ == nullptr) return;  // dark window of a snapshot restart
     if (!done.load(std::memory_order_relaxed) && protocol_->terminated()) {
       done.store(true, std::memory_order_release);
       done_wake_.signal();
@@ -407,10 +457,22 @@ class UdpMesh::Node final : public net::Context {
                        encode_data_datagram(
                            seq, *it->second.body,
                            p.mac.has_value() ? &it->second.tag : nullptr)});
+          if (it->second.attempts > 0) {
+            // A re-send is the ARQ catching a peer up (drop, dark window,
+            // or lost ack) — recovery overhead, never honest traffic.
+            ++metrics_.catchup_frames;
+            metrics_.catchup_bytes +=
+                frame_wire_size(*it->second.body, p.mac.has_value());
+          }
         }
-        // Retransmit one RTO after the (possibly shim-delayed) wire time —
-        // a shim-dropped attempt simply retries then.
-        it->second.at = xmit + rto_us_;
+        // Retransmit after the (possibly shim-delayed) wire time plus an
+        // exponentially backed-off RTO (doubling per attempt, capped at
+        // 32x) — a long-dark peer is probed ever more gently; a
+        // shim-dropped attempt simply retries on the same schedule.
+        const std::uint32_t shift =
+            std::min<std::uint32_t>(it->second.attempts, 5);
+        ++it->second.attempts;
+        it->second.at = xmit + (rto_us_ << shift);
         p.events.emplace(it->second.at, seq);
       }
     }
@@ -529,11 +591,22 @@ class UdpMesh::Node final : public net::Context {
 
   void event_loop(const std::atomic<bool>& stop) {
     while (!stop.load(std::memory_order_relaxed)) {
+      if (!windows_.empty()) {
+        churn_tick();
+        if (down_) {
+          park_dark();
+          continue;
+        }
+      }
       const SimTime now = now_us();
       process_out(now);
       flush_wire(now);
 
-      const SimTime next = next_event();
+      SimTime next = next_event();
+      if (!down_ && next_window_ < windows_.size() &&
+          (next < 0 || windows_[next_window_].down_us < next)) {
+        next = windows_[next_window_].down_us;
+      }
       int timeout = -1;
       if (next >= 0) {
         const SimTime ms = (next - now_us()) / 1000 + 1;
@@ -550,16 +623,96 @@ class UdpMesh::Node final : public net::Context {
     }
   }
 
+  // ---- churn --------------------------------------------------------------
+
+  /// Drive this node's own restart schedule.
+  void churn_tick() {
+    if (!down_ && next_window_ < windows_.size() &&
+        now_us() >= windows_[next_window_].down_us) {
+      go_down(windows_[next_window_].up_us);
+      ++next_window_;
+    }
+    if (down_ && now_us() >= up_at_) come_up();
+  }
+
+  /// Dark: close the socket — datagrams to this node vanish (peers' ARQ
+  /// keeps retransmitting) and nothing is sent. The ARQ/SeqFilter state
+  /// lives in this object and survives; a RestartableProtocol is
+  /// serialized and destroyed, proving the snapshot path end to end.
+  void go_down(SimTime up_at) {
+    down_ = true;
+    up_at_ = up_at;
+    down_since_ = now_us();
+    if (sock_fd_ >= 0) {
+      ::close(sock_fd_);
+      sock_fd_ = -1;
+    }
+    if (rebuild_) {
+      if (auto* rp =
+              dynamic_cast<net::RestartableProtocol*>(protocol_.get())) {
+        ByteWriter w(256);
+        rp->snapshot(w);
+        snapshot_ = w.take();
+        have_snapshot_ = true;
+        protocol_.reset();
+      }
+    }
+  }
+
+  /// Rejoin: rebind the SAME port (the node's identity on every peer's
+  /// port_to_peer_ map), restore the protocol, and let the ARQ catch
+  /// everyone up — our due retransmissions flow out, peers' reach the
+  /// fresh socket.
+  void come_up() {
+    down_ = false;
+    metrics_.downtime_us += static_cast<std::uint64_t>(now_us() - down_since_);
+    sock_fd_ = make_udp_socket_on(own_port_);
+    ++metrics_.reconnects;
+    if (have_snapshot_) restore_protocol();
+    drain_local();
+    note_termination();
+  }
+
+  void restore_protocol() {
+    protocol_ = rebuild_();
+    auto* rp = dynamic_cast<net::RestartableProtocol*>(protocol_.get());
+    DELPHI_ASSERT(rp != nullptr, "udp restart: factory lost snapshot support");
+    ByteReader r(snapshot_);
+    rp->restore(r);
+    snapshot_.clear();
+    have_snapshot_ = false;
+  }
+
+  /// The dark window: nothing to do but wait for the restart clock or the
+  /// cluster stop signal (re-checked by the caller's loop on return).
+  void park_dark() {
+    const SimTime ms = (up_at_ - now_us()) / 1000 + 1;
+    pollfd pf{wake_.fd(), POLLIN, 0};
+    ::poll(&pf, 1, static_cast<int>(std::clamp<SimTime>(ms, 0, 60'000)));
+    if (pf.revents != 0) wake_.drain();
+  }
+
   NodeId self_;
   Options opts_;
   int sock_fd_;
+  std::uint16_t own_port_;
   Clock::time_point epoch_;
   std::unique_ptr<net::Protocol> protocol_;
+  /// Recreates this node's protocol (churn restarts feed it the snapshot).
+  std::function<std::unique_ptr<net::Protocol>()> rebuild_;
   Decoder decoder_;
   net::WakeupFd& done_wake_;
   net::WakeupFd wake_;
   Rng rng_;
   SimTime rto_us_;
+  /// This node's own restart schedule (sorted by down_us) and dark state.
+  std::vector<ChurnWindow> windows_;
+  std::size_t next_window_ = 0;
+  bool down_ = false;
+  SimTime up_at_ = 0;
+  SimTime down_since_ = 0;
+  std::vector<std::uint8_t> snapshot_;
+  bool have_snapshot_ = false;
   std::vector<Peer> peers_;
   std::unordered_map<std::uint16_t, NodeId> port_to_peer_;
   std::priority_queue<WireItem, std::vector<WireItem>, WireLater> wireq_;
@@ -576,6 +729,15 @@ class UdpMesh::Node final : public net::Context {
 UdpMesh::UdpMesh(Options opts)
     : opts_(opts), keys_(opts.seed, opts.n), ports_(opts.n, 0) {
   if (opts_.n < 1) throw ConfigError("UdpMesh: n must be >= 1");
+  if (opts_.max_unacked < 1) {
+    throw ConfigError("UdpMesh: max_unacked must be >= 1");
+  }
+  for (const auto& w : opts_.churn) {
+    if (w.id >= opts_.n) throw ConfigError("UdpMesh: churn id out of range");
+    if (w.up_us <= w.down_us) {
+      throw ConfigError("UdpMesh: churn window needs up_us > down_us");
+    }
+  }
 }
 
 UdpMesh::~UdpMesh() {
@@ -604,8 +766,13 @@ void UdpMesh::start(const ProtocolFactory& factory, Decoder decoder) {
   const auto epoch = Clock::now();
   nodes_.reserve(opts_.n);
   for (NodeId i = 0; i < opts_.n; ++i) {
+    std::function<std::unique_ptr<net::Protocol>()> rebuild;
+    if (!opts_.churn.empty()) {
+      rebuild = [factory, i] { return factory(i); };
+    }
     nodes_.push_back(std::make_unique<Node>(i, opts_, keys_, ports_, socks[i],
-                                            epoch, factory(i), decoder,
+                                            epoch, factory(i),
+                                            std::move(rebuild), decoder,
                                             done_wake_));
   }
   threads_.reserve(opts_.n);
@@ -642,9 +809,13 @@ bool UdpMesh::wait() {
     if (t.joinable()) t.join();
   }
   unfinished_.clear();
+  failures_.clear();
   for (NodeId i = 0; i < nodes_.size(); ++i) {
     if (!nodes_[i]->done.load(std::memory_order_acquire)) {
       unfinished_.push_back(i);
+    }
+    if (!nodes_[i]->error().empty()) {
+      failures_.push_back({i, nodes_[i]->error()});
     }
   }
   joined_ = true;
@@ -654,6 +825,11 @@ bool UdpMesh::wait() {
 const std::vector<NodeId>& UdpMesh::unfinished() const {
   DELPHI_ASSERT(joined_, "UdpMesh: unfinished() before wait()");
   return unfinished_;
+}
+
+const std::vector<NodeFailure>& UdpMesh::failures() const {
+  DELPHI_ASSERT(joined_, "UdpMesh: failures() before wait()");
+  return failures_;
 }
 
 net::Protocol& UdpMesh::protocol(NodeId id) {

@@ -141,10 +141,25 @@ class UdpMesh {
     /// wait() gives up after this many milliseconds of wall time.
     std::int64_t timeout_ms = 30'000;
     /// Retransmission timeout for unacked frames (loopback RTT is tens of
-    /// µs; this only bounds recovery latency after a drop).
+    /// µs; this only bounds recovery latency after a drop). Retransmission
+    /// attempts back off exponentially from this base (doubling per
+    /// attempt, capped at 32x), so a long-dark peer costs O(log) resend
+    /// work instead of a fixed-rate spray.
     std::int64_t rto_ms = 25;
+    /// Per-directed-link cap on the selective-repeat unacked map (and its
+    /// retransmit schedule). A send that would exceed it throws a typed
+    /// ResourceExhausted — never a silent drop. The default is roomy
+    /// enough that honest runs (including churn restarts) stay far below
+    /// it; tiny values let tests exercise the exhaustion path.
+    std::size_t max_unacked = 65'536;
     /// Network emulation applied per directed link (inert by default).
     net::netem::Config netem;
+    /// Churn schedule (wall µs since cluster start): a dark node closes its
+    /// socket (datagrams to it vanish) and rebinds the SAME port at up_us —
+    /// the port is the node's identity, so peers' ARQ retransmissions find
+    /// it again with no handshake. A RestartableProtocol is snapshotted at
+    /// down and restored from bytes at up.
+    std::vector<ChurnWindow> churn;
   };
 
   using ProtocolFactory = net::ProtocolFactory;
@@ -166,6 +181,11 @@ class UdpMesh {
   /// Node ids whose protocols had not terminated when wait() gave up (empty
   /// iff wait() returned true). Only safe after wait() returned.
   const std::vector<NodeId>& unfinished() const;
+
+  /// Nodes whose threads died with an error (exception text — e.g. the
+  /// typed ResourceExhausted of an unacked-map overflow), in ascending id
+  /// order. Only safe after wait() returned.
+  const std::vector<NodeFailure>& failures() const;
 
   /// Node i's protocol. Only safe after wait() returned.
   net::Protocol& protocol(NodeId id);
@@ -190,6 +210,7 @@ class UdpMesh {
   std::vector<std::thread> threads_;
   std::vector<std::uint16_t> ports_;
   std::vector<NodeId> unfinished_;
+  std::vector<NodeFailure> failures_;
   std::atomic<bool> stop_{false};
   net::WakeupFd done_wake_;
   bool started_ = false;

@@ -10,6 +10,9 @@
 ///                     [--crashes 0] [--t auto] [--rho0 10] [--eps 2]
 ///                     [--delta-max 2000] [--rounds 10] [--csv] [--verbose]
 ///                     [--adversary random-delay:50000] [--byzantine garbage:64:2]
+///                     [--churn 1:200000:400000] [--churn-seed 7]
+///                     (restart k nodes per window — dark at down_us, rejoined
+///                     and caught up at up_us, on every substrate)
 ///                     (any protocol can be attacked: adversary= delays/reorders
 ///                     the simulated network, byzantine= wraps faulted nodes)
 ///                     [--instances 4] [--mux-mode concurrent|sequential]
@@ -60,6 +63,8 @@ namespace {
                    [--adversary none|random-delay:<max_us>|targeted-lag:<k>:<lag_us>
                                |partition:<k>:<heal_us>|burst:<period_us>]
                    [--byzantine none|crash-after:<sends>:<k>|garbage:<size>:<k>]
+                   [--churn k:<down_us>:<up_us>[,k:<down_us>:<up_us>...]]
+                   [--churn-seed S]   (restart windows; see SCENARIOS.md)
                    [--loss P] [--loss-burst L] [--rate-kbps R] [--rto-ms MS]
                    (loss knobs need --transport udp; rate-kbps shapes tcp too)
                    [--instances K] [--mux-mode concurrent|sequential]
@@ -216,6 +221,17 @@ ScenarioSpec parse_spec(Flags& f) {
   }
   spec.adversary = scenario::parse_adversary(f.str("adversary", "none"));
   spec.byzantine = scenario::parse_byzantine(f.str("byzantine", "none"));
+  // --churn takes a comma list because the flag map is single-valued; each
+  // entry uses the spec grammar k:down_us:up_us.
+  const std::string churn = f.str("churn", "");
+  if (!churn.empty()) {
+    std::stringstream ss(churn);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      spec.churn.push_back(scenario::parse_churn(tok));
+    }
+  }
+  spec.churn_seed = f.unum("churn-seed", 0);
   const std::string t = f.str("t", "auto");
   if (t != "auto") {
     char* end = nullptr;
@@ -296,6 +312,9 @@ void print_report(const ScenarioSpec& spec, const scenario::RunReport& r,
     for (const NodeId id : r.unfinished) std::printf(" %u", id);
     std::printf("\n");
   }
+  for (const auto& ne : r.node_errors) {
+    std::printf("         node %u died: %s\n", ne.id, ne.message.c_str());
+  }
   if (verbose) {
     for (std::size_t i = 0; i < r.nodes.size(); ++i) {
       const auto& nm = r.nodes[i];
@@ -305,6 +324,14 @@ void print_report(const ScenarioSpec& spec, const scenario::RunReport& r,
                   static_cast<double>(nm.bytes_sent) / 1e3,
                   static_cast<unsigned long long>(nm.msgs_delivered),
                   static_cast<unsigned long long>(nm.malformed_dropped));
+      if (nm.reconnects > 0 || nm.downtime_ms > 0 || nm.catchup_frames > 0) {
+        std::printf("                  reconnects=%llu downtime=%llu ms "
+                    "catchup=%llu frames (%.1f KB)\n",
+                    static_cast<unsigned long long>(nm.reconnects),
+                    static_cast<unsigned long long>(nm.downtime_ms),
+                    static_cast<unsigned long long>(nm.catchup_frames),
+                    static_cast<double>(nm.catchup_bytes) / 1e3);
+      }
     }
   }
 }
